@@ -1,0 +1,45 @@
+package resinfer
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// BatchResult holds the outcome for one query of a batch.
+type BatchResult struct {
+	Neighbors []Neighbor
+	Stats     SearchStats
+	Err       error
+}
+
+// SearchBatch runs Search for every query concurrently across up to
+// workers goroutines (default GOMAXPROCS). Results are positionally
+// aligned with queries; per-query failures are reported in the result
+// rather than aborting the batch.
+func (ix *Index) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("resinfer: empty query batch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for qi := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ns, st, err := ix.SearchWithStats(queries[qi], k, mode, budget)
+			out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
+		}(qi)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,87 @@
+// Command gendata materializes a synthetic dataset analog to disk in the
+// standard fvecs/ivecs interchange formats: base vectors, evaluation
+// queries, training queries, and exact ground truth.
+//
+// Usage:
+//
+//	gendata -profile deep -out ./data/deep
+//	gendata -profile sift -k 100 -out ./data/sift
+//	gendata -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"resinfer/internal/dataset"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "dataset profile name (see -list)")
+		outDir  = flag.String("out", ".", "output directory (created if missing)")
+		k       = flag.Int("k", 100, "ground-truth neighbors per query")
+		list    = flag.Bool("list", false, "list available profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %9s %5s %7s %6s  %s\n", "name", "n", "dim", "queries", "VE32", "paper dataset")
+		for _, p := range dataset.Profiles() {
+			fmt.Printf("%-10s %9d %5d %7d %6.2f  n=%d (%s)\n",
+				p.Name, p.N, p.Dim, p.Queries, p.VE32, p.PaperN, p.PaperNote)
+		}
+		return
+	}
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "usage: gendata -profile <name> -out <dir> | gendata -list")
+		os.Exit(2)
+	}
+	prof, err := dataset.ProfileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generating %s (n=%d, dim=%d)...\n", prof.Name, prof.N, prof.Dim)
+	ds, err := dataset.Generate(prof.GenConfig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	write := func(name string, rows [][]float32) {
+		path := filepath.Join(*outDir, name)
+		if err := dataset.SaveFvecsFile(path, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "gendata:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s (%d rows)\n", path, len(rows))
+	}
+	write(prof.Name+"_base.fvecs", ds.Data)
+	write(prof.Name+"_query.fvecs", ds.Queries)
+	write(prof.Name+"_train.fvecs", ds.Train)
+
+	fmt.Printf("computing exact ground truth (k=%d)...\n", *k)
+	gt, err := dataset.BruteForceKNN(ds.Data, ds.Queries, *k, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	gtPath := filepath.Join(*outDir, prof.Name+"_groundtruth.ivecs")
+	f, err := os.Create(gtPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := dataset.WriteIvecs(f, gt); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s (%d rows)\n", gtPath, len(gt))
+}

@@ -1,0 +1,200 @@
+// Package adsampling implements the ADSampling distance comparison
+// operator of Gao & Long (SIGMOD 2023) — the state of the art the paper
+// improves on (§III). Vectors are rotated by a random orthogonal matrix;
+// at query time the squared distance is accumulated over increasing
+// prefixes of the rotated coordinates and a Johnson–Lindenstrauss
+// hypothesis test decides after each increment whether the candidate can
+// already be pruned: with partial distance dis'_d over d of D dimensions,
+// prune when
+//
+//	dis'_d · (D/d) > τ · (1 + ε0/√d)²
+//
+// which is the squared form of the paper's √(D/d)·‖·‖ > (1+ε0/√d)·√τ test.
+// ε0 trades pruning aggressiveness against failure probability 2e^(-c·ε0²).
+package adsampling
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"resinfer/internal/core"
+	"resinfer/internal/matrix"
+	"resinfer/internal/vec"
+)
+
+// Config controls the DCO.
+type Config struct {
+	// Epsilon0 is the hypothesis-test significance parameter; the
+	// ADSampling authors recommend ~2.1.
+	Epsilon0 float64
+	// DeltaD is the dimension increment per test round; default 32.
+	DeltaD int
+	Seed   int64
+}
+
+// DCO is the ADSampling comparator.
+type DCO struct {
+	rotated  [][]float32
+	rotation *matrix.Matrix
+	dim      int
+	eps0     float64
+	deltaD   int
+	// factors[d] caches (1+eps0/sqrt(d))^2 * d / D for each test depth d,
+	// so the per-round prune test is one multiply and one compare:
+	// prune iff partial > tau * factors[d].
+	factors []float32
+}
+
+// New builds the DCO by rotating data with a fresh random orthogonal
+// matrix.
+func New(data [][]float32, cfg Config) (*DCO, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("adsampling: empty data")
+	}
+	dim := len(data[0])
+	if cfg.Epsilon0 <= 0 {
+		cfg.Epsilon0 = 2.1
+	}
+	if cfg.DeltaD <= 0 {
+		cfg.DeltaD = 32
+	}
+	if cfg.DeltaD > dim {
+		cfg.DeltaD = dim
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rot := matrix.RandomOrthogonal(dim, rng)
+	rotated := make([][]float32, len(data))
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, errors.New("adsampling: ragged data")
+		}
+		y, err := rot.ApplyF32(row)
+		if err != nil {
+			return nil, err
+		}
+		rotated[i] = y
+	}
+	d := &DCO{
+		rotated:  rotated,
+		rotation: rot,
+		dim:      dim,
+		eps0:     cfg.Epsilon0,
+		deltaD:   cfg.DeltaD,
+		factors:  make([]float32, dim+1),
+	}
+	for k := 1; k <= dim; k++ {
+		mult := 1 + cfg.Epsilon0/math.Sqrt(float64(k))
+		d.factors[k] = float32(mult * mult * float64(k) / float64(dim))
+	}
+	return d, nil
+}
+
+// NewWithRotation builds the DCO reusing pre-rotated data and its rotation
+// matrix (used by tests and by index serialization).
+func NewWithRotation(rotated [][]float32, rot *matrix.Matrix, cfg Config) (*DCO, error) {
+	if len(rotated) == 0 || len(rotated[0]) == 0 {
+		return nil, errors.New("adsampling: empty data")
+	}
+	dim := len(rotated[0])
+	if rot.Rows != dim || rot.Cols != dim {
+		return nil, errors.New("adsampling: rotation shape mismatch")
+	}
+	if cfg.Epsilon0 <= 0 {
+		cfg.Epsilon0 = 2.1
+	}
+	if cfg.DeltaD <= 0 {
+		cfg.DeltaD = 32
+	}
+	if cfg.DeltaD > dim {
+		cfg.DeltaD = dim
+	}
+	d := &DCO{
+		rotated:  rotated,
+		rotation: rot,
+		dim:      dim,
+		eps0:     cfg.Epsilon0,
+		deltaD:   cfg.DeltaD,
+		factors:  make([]float32, dim+1),
+	}
+	for k := 1; k <= dim; k++ {
+		mult := 1 + cfg.Epsilon0/math.Sqrt(float64(k))
+		d.factors[k] = float32(mult * mult * float64(k) / float64(dim))
+	}
+	return d, nil
+}
+
+// Name implements core.DCO.
+func (d *DCO) Name() string { return "adsampling" }
+
+// Size implements core.DCO.
+func (d *DCO) Size() int { return len(d.rotated) }
+
+// Dim implements core.DCO.
+func (d *DCO) Dim() int { return d.dim }
+
+// ExtraBytes implements core.DCO: the D×D rotation matrix (stored as
+// float64 here; the paper counts D² floats).
+func (d *DCO) ExtraBytes() int64 { return int64(d.dim) * int64(d.dim) * 8 }
+
+// Rotation exposes the rotation matrix for serialization.
+func (d *DCO) Rotation() *matrix.Matrix { return d.rotation }
+
+// Rotated exposes the rotated vectors (read-only by convention); used by
+// the approximation-accuracy experiment (Table III).
+func (d *DCO) Rotated() [][]float32 { return d.rotated }
+
+// NewQuery implements core.DCO.
+func (d *DCO) NewQuery(q []float32) (core.QueryEvaluator, error) {
+	if len(q) != d.dim {
+		return nil, errors.New("adsampling: query dimension mismatch")
+	}
+	rq, err := d.rotation.ApplyF32(q)
+	if err != nil {
+		return nil, err
+	}
+	return &evaluator{parent: d, q: rq}, nil
+}
+
+type evaluator struct {
+	parent *DCO
+	q      []float32
+	stats  core.Stats
+}
+
+func (ev *evaluator) Distance(id int) float32 {
+	ev.stats.ExactDistances++
+	ev.stats.DimsScanned += int64(ev.parent.dim)
+	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+}
+
+func (ev *evaluator) Compare(id int, tau float32) (float32, bool) {
+	ev.stats.Comparisons++
+	p := ev.parent
+	x := p.rotated[id]
+	if math.IsInf(float64(tau), 1) {
+		ev.stats.ExactDistances++
+		ev.stats.DimsScanned += int64(p.dim)
+		return vec.L2Sq(ev.q, x), false
+	}
+	var partial float32
+	d := 0
+	for d < p.dim {
+		next := d + p.deltaD
+		if next > p.dim {
+			next = p.dim
+		}
+		partial += vec.L2SqRange(ev.q, x, d, next)
+		ev.stats.DimsScanned += int64(next - d)
+		d = next
+		if d < p.dim && partial > tau*p.factors[d] {
+			ev.stats.Pruned++
+			// Scaled partial distance as the approximate estimate.
+			return partial * float32(p.dim) / float32(d), true
+		}
+	}
+	ev.stats.ExactDistances++
+	return partial, false
+}
+
+func (ev *evaluator) Stats() *core.Stats { return &ev.stats }

@@ -1,0 +1,169 @@
+// Package core defines the paper's central abstraction: the distance
+// comparison operator (DCO). AKNN algorithms in the refinement phase never
+// need raw distances per se — they need to decide whether a candidate's
+// distance to the query exceeds the result queue's threshold τ, and only if
+// it does not, the (exact) distance itself. A DCO owns the data layout
+// required by its distance method (rotated vectors, quantization codes,
+// norms) and builds a per-query evaluator that answers exactly those
+// questions while counting the work it performed.
+//
+// Implementations in this repository: exact scan (this package),
+// ADSampling (internal/adsampling), and the paper's DDCres / DDCpca /
+// DDCopq (internal/ddc).
+package core
+
+import (
+	"errors"
+	"math"
+
+	"resinfer/internal/vec"
+)
+
+// Stats counts the work a query evaluator performed. Indexes aggregate
+// these to report the paper's scan-rate and pruned-rate metrics (Exp-6).
+type Stats struct {
+	// Comparisons is the number of Compare calls.
+	Comparisons int64
+	// Pruned counts comparisons resolved with an approximate distance
+	// (the candidate was discarded without computing an exact distance).
+	Pruned int64
+	// DimsScanned is the total number of vector coordinates consumed by
+	// Compare calls. For an exact method this is Comparisons·D; for
+	// incremental methods it is smaller — DimsScanned / (Comparisons·D)
+	// is the paper's scan rate.
+	DimsScanned int64
+	// ExactDistances counts full exact distance computations (Compare
+	// fallthroughs plus Distance calls).
+	ExactDistances int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Comparisons += other.Comparisons
+	s.Pruned += other.Pruned
+	s.DimsScanned += other.DimsScanned
+	s.ExactDistances += other.ExactDistances
+}
+
+// PrunedRate returns Pruned / Comparisons (0 when no comparisons ran).
+func (s *Stats) PrunedRate() float64 {
+	if s.Comparisons == 0 {
+		return 0
+	}
+	return float64(s.Pruned) / float64(s.Comparisons)
+}
+
+// ScanRate returns the fraction of coordinates consumed relative to an
+// exact scan over the same comparisons.
+func (s *Stats) ScanRate(dim int) float64 {
+	if s.Comparisons == 0 || dim <= 0 {
+		return 0
+	}
+	return float64(s.DimsScanned) / float64(s.Comparisons*int64(dim))
+}
+
+// DCO builds per-query evaluators over a fixed dataset.
+type DCO interface {
+	// Name identifies the method (e.g. "exact", "adsampling", "ddc-res").
+	Name() string
+	// Size returns the number of points the DCO can evaluate.
+	Size() int
+	// Dim returns the data dimensionality.
+	Dim() int
+	// NewQuery prepares per-query state (query rotation, lookup tables,
+	// error-bound suffix tables) and returns an evaluator. The returned
+	// evaluator is NOT safe for concurrent use; create one per goroutine.
+	NewQuery(q []float32) (QueryEvaluator, error)
+	// ExtraBytes reports auxiliary memory beyond the raw float32 vectors:
+	// rotation matrices, stored norms, quantization codes (Exp-3's space
+	// accounting).
+	ExtraBytes() int64
+}
+
+// QueryEvaluator answers threshold comparisons and exact distances for one
+// query.
+type QueryEvaluator interface {
+	// Distance returns the exact squared Euclidean distance to point id.
+	Distance(id int) float32
+	// Compare decides whether dist(q, id) > tau. When pruned is true the
+	// candidate may be discarded and dist holds the (corrected)
+	// approximate distance — usable as an ordering hint but not exact.
+	// When pruned is false, dist is the exact distance. A tau of +Inf
+	// (result queue still filling) always takes the exact path.
+	Compare(id int, tau float32) (dist float32, pruned bool)
+	// Stats returns the accumulated work counters.
+	Stats() *Stats
+}
+
+// Exact is the baseline DCO computing every distance in full. It owns the
+// original vectors; other DCOs that need original-space exact distances
+// (e.g. DDCopq) embed the same data slice.
+type Exact struct {
+	data [][]float32
+	dim  int
+}
+
+// NewExact wraps data (non-empty, rectangular) in an exact DCO.
+func NewExact(data [][]float32) (*Exact, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("core: empty data")
+	}
+	dim := len(data[0])
+	for _, row := range data {
+		if len(row) != dim {
+			return nil, errors.New("core: ragged data")
+		}
+	}
+	return &Exact{data: data, dim: dim}, nil
+}
+
+// Name implements DCO.
+func (e *Exact) Name() string { return "exact" }
+
+// Size implements DCO.
+func (e *Exact) Size() int { return len(e.data) }
+
+// Dim implements DCO.
+func (e *Exact) Dim() int { return e.dim }
+
+// ExtraBytes implements DCO: the exact method stores nothing extra.
+func (e *Exact) ExtraBytes() int64 { return 0 }
+
+// Data exposes the underlying vectors (read-only by convention) so index
+// builders can compute construction-time distances without an evaluator.
+func (e *Exact) Data() [][]float32 { return e.data }
+
+// NewQuery implements DCO.
+func (e *Exact) NewQuery(q []float32) (QueryEvaluator, error) {
+	if len(q) != e.dim {
+		return nil, errors.New("core: query dimension mismatch")
+	}
+	return &exactEvaluator{parent: e, q: q}, nil
+}
+
+type exactEvaluator struct {
+	parent *Exact
+	q      []float32
+	stats  Stats
+}
+
+func (ev *exactEvaluator) Distance(id int) float32 {
+	ev.stats.ExactDistances++
+	ev.stats.DimsScanned += int64(ev.parent.dim)
+	return vec.L2Sq(ev.q, ev.parent.data[id])
+}
+
+func (ev *exactEvaluator) Compare(id int, tau float32) (float32, bool) {
+	ev.stats.Comparisons++
+	ev.stats.ExactDistances++
+	ev.stats.DimsScanned += int64(ev.parent.dim)
+	d := vec.L2Sq(ev.q, ev.parent.data[id])
+	_ = tau
+	return d, false
+}
+
+func (ev *exactEvaluator) Stats() *Stats { return &ev.stats }
+
+// InfThreshold is the threshold value used while a result queue is still
+// filling; Compare implementations must not prune against it.
+var InfThreshold = float32(math.Inf(1))

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/vec"
+)
+
+// BruteForceKNN computes, for each query, the ids of its k nearest base
+// vectors under squared Euclidean distance, in ascending-distance order.
+// Queries are processed in parallel across workers (default GOMAXPROCS).
+// This is the exact ground truth every recall number is measured against.
+func BruteForceKNN(data, queries [][]float32, k, workers int) ([][]int, error) {
+	if len(data) == 0 {
+		return nil, errors.New("dataset: empty data")
+	}
+	if k <= 0 {
+		return nil, errors.New("dataset: k must be positive")
+	}
+	if k > len(data) {
+		k = len(data)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]int, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for qi := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			q := queries[qi]
+			rq := heap.NewResultQueue(k)
+			for id, row := range data {
+				d := vec.L2Sq(q, row)
+				if d < rq.Threshold() {
+					rq.Push(id, d)
+				}
+			}
+			items := rq.Sorted()
+			ids := make([]int, len(items))
+			for i, it := range items {
+				ids[i] = it.ID
+			}
+			out[qi] = ids
+		}(qi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Recall returns |result ∩ truth| / k averaged over queries — the paper's
+// recall@K. result rows may be shorter than k (missing entries count as
+// misses).
+func Recall(results, truth [][]int, k int) float64 {
+	if len(results) == 0 || k <= 0 {
+		return 0
+	}
+	var total float64
+	for i := range results {
+		if i >= len(truth) {
+			break
+		}
+		t := truth[i]
+		if len(t) > k {
+			t = t[:k]
+		}
+		set := make(map[int]struct{}, len(t))
+		for _, id := range t {
+			set[id] = struct{}{}
+		}
+		hits := 0
+		r := results[i]
+		if len(r) > k {
+			r = r[:k]
+		}
+		for _, id := range r {
+			if _, ok := set[id]; ok {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(len(t))
+	}
+	return total / float64(len(results))
+}

@@ -1,0 +1,194 @@
+package ddc
+
+import (
+	"errors"
+	"io"
+
+	"resinfer/internal/learn"
+	"resinfer/internal/pca"
+	"resinfer/internal/persist"
+	"resinfer/internal/quant"
+)
+
+const (
+	resMagic    = "RIRES1"
+	pcaDCOMagic = "RIDPC1"
+	opqDCOMagic = "RIDOQ1"
+)
+
+// Encode writes the DDCres comparator (PCA model, rotated vectors, norms,
+// tuning) onto an existing persist stream.
+func (r *Res) Encode(pw *persist.Writer) {
+	pw.Magic(resMagic)
+	r.model.Encode(pw)
+	pw.F32Mat(r.rotated)
+	pw.F32s(r.norms)
+	pw.F64(float64(r.m))
+	pw.Int(r.initD)
+	pw.Int(r.deltaD)
+}
+
+// DecodeRes reads a DDCres comparator previously written by Encode.
+func DecodeRes(pr *persist.Reader) (*Res, error) {
+	pr.Magic(resMagic)
+	model, err := pca.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Res{
+		model:   model,
+		dim:     model.Dim,
+		rotated: pr.F32Mat(),
+	}
+	r.norms = pr.F32s()
+	r.m = float32(pr.F64())
+	r.initD = pr.Int()
+	r.deltaD = pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.rotated) == 0 || len(r.norms) != len(r.rotated) ||
+		r.initD <= 0 || r.initD > r.dim || r.deltaD <= 0 || r.m <= 0 {
+		return nil, errors.New("ddc: corrupt encoded Res")
+	}
+	for _, row := range r.rotated {
+		if len(row) != r.dim {
+			return nil, errors.New("ddc: corrupt rotated row")
+		}
+	}
+	return r, nil
+}
+
+// WriteTo serializes the comparator to w as a standalone stream.
+func (r *Res) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w)
+	r.Encode(pw)
+	return 0, pw.Flush()
+}
+
+// ReadRes deserializes a standalone DDCres comparator.
+func ReadRes(rd io.Reader) (*Res, error) {
+	return DecodeRes(persist.NewReader(rd))
+}
+
+// Encode writes the DDCpca comparator onto an existing persist stream.
+func (p *PCADCO) Encode(pw *persist.Writer) {
+	pw.Magic(pcaDCOMagic)
+	p.model.Encode(pw)
+	pw.F32Mat(p.rotated)
+	pw.Ints(p.levels)
+	pw.Int(len(p.classifiers))
+	for _, c := range p.classifiers {
+		c.Encode(pw)
+	}
+}
+
+// DecodePCA reads a DDCpca comparator previously written by Encode.
+func DecodePCA(pr *persist.Reader) (*PCADCO, error) {
+	pr.Magic(pcaDCOMagic)
+	model, err := pca.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
+	p := &PCADCO{
+		model:   model,
+		dim:     model.Dim,
+		rotated: pr.F32Mat(),
+		levels:  pr.Ints(),
+	}
+	nc := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if nc != len(p.levels) || nc == 0 {
+		return nil, errors.New("ddc: corrupt classifier count")
+	}
+	p.classifiers = make([]*learn.Classifier, nc)
+	for i := range p.classifiers {
+		c, err := learn.Decode(pr)
+		if err != nil {
+			return nil, err
+		}
+		p.classifiers[i] = c
+	}
+	if len(p.rotated) == 0 {
+		return nil, errors.New("ddc: corrupt encoded PCADCO")
+	}
+	for _, l := range p.levels {
+		if l <= 0 || l >= p.dim {
+			return nil, errors.New("ddc: corrupt level")
+		}
+	}
+	return p, nil
+}
+
+// WriteTo serializes the comparator to w as a standalone stream.
+func (p *PCADCO) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w)
+	p.Encode(pw)
+	return 0, pw.Flush()
+}
+
+// ReadPCA deserializes a standalone DDCpca comparator.
+func ReadPCA(rd io.Reader) (*PCADCO, error) {
+	return DecodePCA(persist.NewReader(rd))
+}
+
+// Encode writes the DDCopq comparator onto an existing persist stream.
+// The original vectors are REQUIRED at decode time (they are owned by the
+// caller / the index, not duplicated into the stream).
+func (o *OPQDCO) Encode(pw *persist.Writer) {
+	pw.Magic(opqDCOMagic)
+	pw.Int(o.dim)
+	pw.Bool(o.useResidual)
+	o.opq.EncodeTo(pw)
+	pw.Bytes(o.codes)
+	pw.F32s(o.resNorms)
+	o.clf.Encode(pw)
+}
+
+// DecodeOPQ reads a DDCopq comparator previously written by Encode,
+// rebinding it to the given original vectors (used for exact fallbacks).
+func DecodeOPQ(pr *persist.Reader, data [][]float32) (*OPQDCO, error) {
+	if len(data) == 0 {
+		return nil, errors.New("ddc: DecodeOPQ needs the original vectors")
+	}
+	pr.Magic(opqDCOMagic)
+	o := &OPQDCO{
+		data:        data,
+		dim:         pr.Int(),
+		useResidual: pr.Bool(),
+	}
+	opq, err := quant.DecodeOPQ(pr)
+	if err != nil {
+		return nil, err
+	}
+	o.opq = opq
+	o.codes = pr.Bytes()
+	o.resNorms = pr.F32s()
+	clf, err := learn.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
+	o.clf = clf
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if o.dim != len(data[0]) || len(o.codes) != len(data)*opq.PQ.M ||
+		len(o.resNorms) != len(data) {
+		return nil, errors.New("ddc: encoded OPQDCO does not match the data")
+	}
+	return o, nil
+}
+
+// WriteTo serializes the comparator to w as a standalone stream.
+func (o *OPQDCO) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w)
+	o.Encode(pw)
+	return 0, pw.Flush()
+}
+
+// ReadOPQ deserializes a standalone DDCopq comparator.
+func ReadOPQ(rd io.Reader, data [][]float32) (*OPQDCO, error) {
+	return DecodeOPQ(persist.NewReader(rd), data)
+}

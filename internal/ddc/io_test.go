@@ -1,0 +1,149 @@
+package ddc
+
+import (
+	"bytes"
+	"testing"
+
+	"resinfer/internal/vec"
+)
+
+func TestResRoundTrip(t *testing.T) {
+	ds := getDS(t)
+	orig, err := NewRes(ds.Data, ResConfig{Seed: 41, InitD: 8, DeltaD: 16, Multiplier: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim() != orig.Dim() || loaded.Size() != orig.Size() {
+		t.Fatal("metadata")
+	}
+	if loaded.m != orig.m || loaded.initD != orig.initD || loaded.deltaD != orig.deltaD {
+		t.Fatal("tuning lost")
+	}
+	// Identical Compare behavior on a few probes.
+	q := ds.Queries[0]
+	evA, _ := orig.NewQuery(q)
+	evB, _ := loaded.NewQuery(q)
+	for id := 0; id < 50; id++ {
+		tau := float32(1.0)
+		da, pa := evA.Compare(id, tau)
+		db, pb := evB.Compare(id, tau)
+		if da != db || pa != pb {
+			t.Fatalf("Compare(%d) differs after round trip", id)
+		}
+	}
+}
+
+func TestResRoundTripCorruption(t *testing.T) {
+	ds := getDS(t)
+	orig, _ := NewRes(ds.Data[:200], ResConfig{Seed: 43})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadRes(bytes.NewReader(b[:len(b)/3])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte("YYYYYY"), b[6:]...)
+	if _, err := ReadRes(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestPCADCORoundTrip(t *testing.T) {
+	ds := getDS(t)
+	orig, err := NewPCA(ds.Data, ds.Train[:30], PCAConfig{
+		Seed: 45, Collect: CollectConfig{K: 10, NegPerQuery: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPCA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Levels()) != len(orig.Levels()) {
+		t.Fatal("levels lost")
+	}
+	q := ds.Queries[1]
+	evA, _ := orig.NewQuery(q)
+	evB, _ := loaded.NewQuery(q)
+	for id := 0; id < 50; id++ {
+		da, pa := evA.Compare(id, 2.0)
+		db, pb := evB.Compare(id, 2.0)
+		if da != db || pa != pb {
+			t.Fatalf("PCADCO Compare(%d) differs after round trip", id)
+		}
+	}
+}
+
+func TestOPQDCORoundTrip(t *testing.T) {
+	ds := getDS(t)
+	orig, err := NewOPQ(ds.Data, ds.Train[:30], OPQConfig{
+		M: 8, Nbits: 4, OPQIters: 1, Seed: 47,
+		Collect: CollectConfig{K: 10, NegPerQuery: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadOPQ(&buf, ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Queries[2]
+	evA, _ := orig.NewQuery(q)
+	evB, _ := loaded.NewQuery(q)
+	for id := 0; id < 50; id++ {
+		da, pa := evA.Compare(id, 2.0)
+		db, pb := evB.Compare(id, 2.0)
+		if da != db || pa != pb {
+			t.Fatalf("OPQDCO Compare(%d) differs after round trip", id)
+		}
+	}
+	// Wrong data binding must be rejected.
+	var buf2 bytes.Buffer
+	if _, err := orig.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOPQ(&buf2, ds.Data[:10]); err == nil {
+		t.Fatal("expected data-mismatch error")
+	}
+	if _, err := ReadOPQ(bytes.NewReader(nil), nil); err == nil {
+		t.Fatal("expected missing-data error")
+	}
+}
+
+func TestResRoundTripPreservesExactDistances(t *testing.T) {
+	ds := getDS(t)
+	orig, _ := NewRes(ds.Data[:300], ResConfig{Seed: 49})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(orig.Rotated()[5], loaded.Rotated()[5]) {
+		t.Fatal("rotated vectors differ")
+	}
+	if !vec.Equal(orig.Norms(), loaded.Norms()) {
+		t.Fatal("norms differ")
+	}
+}

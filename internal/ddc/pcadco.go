@@ -1,0 +1,248 @@
+package ddc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+
+	"resinfer/internal/core"
+	"resinfer/internal/learn"
+	"resinfer/internal/pca"
+	"resinfer/internal/vec"
+)
+
+// PCAConfig controls DDCpca: the data-driven correction over plain PCA
+// projected distances (§V-B, "we use a straightforward PCA projection as an
+// approximate distance measure without applying the decomposition").
+type PCAConfig struct {
+	// Levels are the projection depths at which classifiers are trained
+	// (Incremental Correction, §V-B). Default: 32, 64, 128, ... up to but
+	// excluding Dim.
+	Levels []int
+	// TargetRecall is the label-0 recall target r for the adaptive
+	// boundary adjustment; default 0.995 (Exp-2's best tradeoff).
+	TargetRecall float64
+	Collect      CollectConfig
+	TrainEpochs  int
+	PCASample    int
+	Seed         int64
+	Workers      int
+}
+
+// PCADCO is the DDCpca comparator.
+type PCADCO struct {
+	rotated     [][]float32
+	model       *pca.Model
+	classifiers []*learn.Classifier
+	levels      []int
+	dim         int
+}
+
+// NewPCA trains PCA, collects labeled samples from trainQueries, and fits
+// one linear classifier per projection level.
+func NewPCA(data, trainQueries [][]float32, cfg PCAConfig) (*PCADCO, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("ddc: empty data")
+	}
+	model, err := pca.Train(data, pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return NewPCAFromModel(data, trainQueries, model, cfg)
+}
+
+// NewPCAFromModel is NewPCA with a pre-trained PCA model.
+func NewPCAFromModel(data, trainQueries [][]float32, model *pca.Model, cfg PCAConfig) (*PCADCO, error) {
+	dim := model.Dim
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TargetRecall == 0 {
+		cfg.TargetRecall = 0.995
+	}
+	if cfg.TargetRecall < 0 || cfg.TargetRecall > 1 {
+		return nil, fmt.Errorf("ddc: target recall %v outside (0,1]", cfg.TargetRecall)
+	}
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		for d := 32; d < dim; d *= 2 {
+			levels = append(levels, d)
+		}
+		if len(levels) == 0 { // dim <= 32
+			levels = []int{dim / 2}
+		}
+	}
+	for _, l := range levels {
+		if l <= 0 || l >= dim {
+			return nil, fmt.Errorf("ddc: level %d outside (0, %d)", l, dim)
+		}
+	}
+
+	rotated, err := model.ProjectAllParallel(data, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	// Collect labeled samples in the ROTATED space: rotation preserves
+	// exact distances, and the approximate distance at level l is the
+	// prefix distance over the first l rotated coordinates.
+	rq, err := model.ProjectAllParallel(trainQueries, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cc := cfg.Collect
+	cc.Seed = cfg.Seed
+	cc.Workers = cfg.Workers
+	samples, err := CollectSamples(rotated, rq, cc)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &PCADCO{rotated: rotated, model: model, levels: levels, dim: dim}
+	p.classifiers = make([]*learn.Classifier, len(levels))
+	for li, level := range levels {
+		var feats [][]float64
+		var labels []int
+		for _, qs := range samples {
+			for i, id := range qs.IDs {
+				approx := vec.L2SqRange(qs.Query, rotated[id], 0, level)
+				feats = append(feats, []float64{float64(approx), float64(qs.Tau)})
+				labels = append(labels, qs.Labels[i])
+			}
+		}
+		clf, err := learn.Train(feats, labels, learn.Config{
+			Epochs:        cfg.TrainEpochs,
+			Seed:          cfg.Seed + int64(li),
+			TargetRecall0: cfg.TargetRecall,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ddc: level %d classifier: %w", level, err)
+		}
+		p.classifiers[li] = clf
+	}
+	return p, nil
+}
+
+// Name implements core.DCO.
+func (p *PCADCO) Name() string { return "ddc-pca" }
+
+// Size implements core.DCO.
+func (p *PCADCO) Size() int { return len(p.rotated) }
+
+// Dim implements core.DCO.
+func (p *PCADCO) Dim() int { return p.dim }
+
+// ExtraBytes implements core.DCO: rotation matrix plus the (negligible)
+// classifier parameters.
+func (p *PCADCO) ExtraBytes() int64 {
+	clf := int64(0)
+	for _, c := range p.classifiers {
+		clf += int64(len(c.W)+len(c.Mean)+len(c.Std)+1) * 8
+	}
+	return int64(p.dim)*int64(p.dim)*8 + clf
+}
+
+// Levels exposes the trained projection depths.
+func (p *PCADCO) Levels() []int { return p.levels }
+
+// Classifiers exposes the per-level models (for retraining experiments).
+func (p *PCADCO) Classifiers() []*learn.Classifier { return p.classifiers }
+
+// Retrain refits the per-level classifiers on new training queries without
+// touching the PCA model or rotated data — the OOD mitigation of §V-C
+// (retraining with ~100 OOD queries).
+func (p *PCADCO) Retrain(trainQueries [][]float32, cfg PCAConfig) error {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TargetRecall == 0 {
+		cfg.TargetRecall = 0.995
+	}
+	rq, err := p.model.ProjectAllParallel(trainQueries, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	cc := cfg.Collect
+	cc.Seed = cfg.Seed
+	cc.Workers = cfg.Workers
+	samples, err := CollectSamples(p.rotated, rq, cc)
+	if err != nil {
+		return err
+	}
+	for li, level := range p.levels {
+		var feats [][]float64
+		var labels []int
+		for _, qs := range samples {
+			for i, id := range qs.IDs {
+				approx := vec.L2SqRange(qs.Query, p.rotated[id], 0, level)
+				feats = append(feats, []float64{float64(approx), float64(qs.Tau)})
+				labels = append(labels, qs.Labels[i])
+			}
+		}
+		clf, err := learn.Train(feats, labels, learn.Config{
+			Epochs:        cfg.TrainEpochs,
+			Seed:          cfg.Seed + int64(li),
+			TargetRecall0: cfg.TargetRecall,
+		})
+		if err != nil {
+			return fmt.Errorf("ddc: level %d classifier: %w", level, err)
+		}
+		p.classifiers[li] = clf
+	}
+	return nil
+}
+
+// NewQuery implements core.DCO.
+func (p *PCADCO) NewQuery(q []float32) (core.QueryEvaluator, error) {
+	rq, err := p.model.Project(q)
+	if err != nil {
+		return nil, err
+	}
+	return &pcaEvaluator{parent: p, q: rq}, nil
+}
+
+type pcaEvaluator struct {
+	parent *PCADCO
+	q      []float32
+	stats  core.Stats
+}
+
+func (ev *pcaEvaluator) Distance(id int) float32 {
+	ev.stats.ExactDistances++
+	ev.stats.DimsScanned += int64(ev.parent.dim)
+	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+}
+
+// Compare accumulates the prefix distance level by level; at each trained
+// level the classifier votes on (dis'_l, τ). The first prune vote discards
+// the candidate; if no level prunes, the scan completes and the distance
+// is exact.
+func (ev *pcaEvaluator) Compare(id int, tau float32) (float32, bool) {
+	ev.stats.Comparisons++
+	p := ev.parent
+	x := p.rotated[id]
+	if math.IsInf(float64(tau), 1) {
+		ev.stats.ExactDistances++
+		ev.stats.DimsScanned += int64(p.dim)
+		return vec.L2Sq(ev.q, x), false
+	}
+	var partial float32
+	prev := 0
+	feat := [2]float64{0, float64(tau)}
+	for li, level := range p.levels {
+		partial += vec.L2SqRange(ev.q, x, prev, level)
+		ev.stats.DimsScanned += int64(level - prev)
+		prev = level
+		feat[0] = float64(partial)
+		if p.classifiers[li].Score(feat[:]) > 0 {
+			ev.stats.Pruned++
+			return partial, true
+		}
+	}
+	partial += vec.L2SqRange(ev.q, x, prev, p.dim)
+	ev.stats.DimsScanned += int64(p.dim - prev)
+	ev.stats.ExactDistances++
+	return partial, false
+}
+
+func (ev *pcaEvaluator) Stats() *core.Stats { return &ev.stats }

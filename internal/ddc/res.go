@@ -1,0 +1,233 @@
+// Package ddc implements the paper's distance computation methods:
+//
+//   - DDCres (§IV, Algorithms 1–2): PCA-rotated vectors with the
+//     distance decomposition dis = C1 − C2 − C3 and the Gaussian
+//     error-quantile bound m·σ, applied incrementally over projection
+//     depths.
+//   - DDCpca (§V-B): plain PCA projected distance corrected by learned
+//     per-level linear classifiers.
+//   - DDCopq (§V-B): OPQ asymmetric distance corrected by a learned
+//     linear classifier with the quantization-residual feature.
+//
+// All three implement core.DCO and plug into the HNSW and IVF indexes.
+package ddc
+
+import (
+	"errors"
+	"math"
+	"runtime"
+
+	"resinfer/internal/core"
+	"resinfer/internal/pca"
+	"resinfer/internal/vec"
+)
+
+// ResConfig controls DDCres.
+type ResConfig struct {
+	// Multiplier is the error-bound multiplier m of §IV-C; the corrected
+	// distance is dis' − m·σ. Default 3 (the 99.7% Gaussian empirical
+	// rule highlighted in Fig. 2). Convert coverage probabilities with
+	// stats.MultiplierForCoverage / stats.OneSidedMultiplier.
+	Multiplier float64
+	// InitD is the first projection depth tested; default 32.
+	InitD int
+	// DeltaD is the depth increment per correction round (Algorithm 2);
+	// default 32. Setting DeltaD >= Dim reproduces the non-incremental
+	// Algorithm 1 (one test, then exact).
+	DeltaD int
+	// PCASample caps rows used for PCA training (0 = all).
+	PCASample int
+	Seed      int64
+	// Workers parallelizes the one-time data rotation; default GOMAXPROCS.
+	Workers int
+}
+
+// Res is the DDCres comparator.
+type Res struct {
+	rotated [][]float32
+	norms   []float32 // ‖x−μ‖² per point in the rotated space
+	model   *pca.Model
+	dim     int
+	m       float32
+	initD   int
+	deltaD  int
+}
+
+// NewRes trains PCA on data and builds the DDCres comparator.
+func NewRes(data [][]float32, cfg ResConfig) (*Res, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("ddc: empty data")
+	}
+	model, err := pca.Train(data, pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return NewResFromModel(data, model, cfg)
+}
+
+// NewResFromModel builds DDCres from a pre-trained PCA model, rotating
+// data into the model's basis.
+func NewResFromModel(data [][]float32, model *pca.Model, cfg ResConfig) (*Res, error) {
+	if len(data) == 0 {
+		return nil, errors.New("ddc: empty data")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rotated, err := model.ProjectAllParallel(data, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return newResFromRotated(rotated, model, cfg)
+}
+
+func newResFromRotated(rotated [][]float32, model *pca.Model, cfg ResConfig) (*Res, error) {
+	dim := model.Dim
+	if cfg.Multiplier <= 0 {
+		cfg.Multiplier = 3
+	}
+	if cfg.InitD <= 0 {
+		cfg.InitD = 32
+	}
+	if cfg.InitD > dim {
+		cfg.InitD = dim
+	}
+	if cfg.DeltaD <= 0 {
+		cfg.DeltaD = 32
+	}
+	if cfg.DeltaD > dim {
+		cfg.DeltaD = dim
+	}
+	r := &Res{
+		rotated: rotated,
+		norms:   make([]float32, len(rotated)),
+		model:   model,
+		dim:     dim,
+		m:       float32(cfg.Multiplier),
+		initD:   cfg.InitD,
+		deltaD:  cfg.DeltaD,
+	}
+	for i, row := range rotated {
+		r.norms[i] = vec.NormSq(row)
+	}
+	return r, nil
+}
+
+// Name implements core.DCO.
+func (r *Res) Name() string { return "ddc-res" }
+
+// Size implements core.DCO.
+func (r *Res) Size() int { return len(r.rotated) }
+
+// Dim implements core.DCO.
+func (r *Res) Dim() int { return r.dim }
+
+// ExtraBytes implements core.DCO: rotation matrix (D² float64) plus the
+// per-point norms (§VII Exp-3's space accounting for DDCres).
+func (r *Res) ExtraBytes() int64 {
+	return int64(r.dim)*int64(r.dim)*8 + int64(len(r.norms))*4
+}
+
+// Model exposes the trained PCA model (variance spectrum, rotation) for
+// diagnostics and the figure experiments.
+func (r *Res) Model() *pca.Model { return r.model }
+
+// Rotated exposes the rotated vectors (read-only by convention).
+func (r *Res) Rotated() [][]float32 { return r.rotated }
+
+// Norms exposes the stored per-point squared norms ‖x−μ‖² (read-only by
+// convention) — the C1 ingredient of the distance decomposition.
+func (r *Res) Norms() []float32 { return r.norms }
+
+// NewQuery implements core.DCO. Per query it rotates q (O(D²)) and builds
+// the σ suffix table: sigma[d] = sqrt(4·Σ_{i≥d} q_i²σ_i²), so each
+// correction round reads its error bound in O(1).
+func (r *Res) NewQuery(q []float32) (core.QueryEvaluator, error) {
+	rq, err := r.model.Project(q)
+	if err != nil {
+		return nil, err
+	}
+	suffix := vec.SuffixWeightedSq(rq, r.model.Sigmas)
+	sigma := make([]float32, len(suffix))
+	for i, s := range suffix {
+		sigma[i] = float32(math.Sqrt(4 * s))
+	}
+	return &resEvaluator{
+		parent: r,
+		q:      rq,
+		qNorm:  vec.NormSq(rq),
+		sigma:  sigma,
+	}, nil
+}
+
+type resEvaluator struct {
+	parent *Res
+	q      []float32
+	qNorm  float32
+	sigma  []float32 // error-bound σ at each projection depth
+	stats  core.Stats
+}
+
+func (ev *resEvaluator) Distance(id int) float32 {
+	ev.stats.ExactDistances++
+	ev.stats.DimsScanned += int64(ev.parent.dim)
+	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+}
+
+// Compare implements Incremental-DDCres (Algorithm 2): C1 is precomputed
+// from stored norms, C2 accumulates inner products over increasing depth,
+// and the candidate is pruned as soon as C1 − C2 − m·σ_d exceeds tau.
+func (ev *resEvaluator) Compare(id int, tau float32) (float32, bool) {
+	ev.stats.Comparisons++
+	p := ev.parent
+	x := p.rotated[id]
+	if math.IsInf(float64(tau), 1) {
+		ev.stats.ExactDistances++
+		ev.stats.DimsScanned += int64(p.dim)
+		return vec.L2Sq(ev.q, x), false
+	}
+	c1 := p.norms[id] + ev.qNorm
+	var c2 float32
+	d := 0
+	next := p.initD
+	for {
+		if next > p.dim {
+			next = p.dim
+		}
+		c2 += 2 * vec.DotRange(ev.q, x, d, next)
+		ev.stats.DimsScanned += int64(next - d)
+		d = next
+		approx := c1 - c2
+		if d >= p.dim {
+			// All dimensions consumed: the decomposition is exact
+			// (C3 folded into C2). Clamp float cancellation noise.
+			if approx < 0 {
+				approx = 0
+			}
+			ev.stats.ExactDistances++
+			return approx, false
+		}
+		if approx-p.m*ev.sigma[d] > tau {
+			ev.stats.Pruned++
+			return approx, true
+		}
+		next = d + p.deltaD
+	}
+}
+
+func (ev *resEvaluator) Stats() *core.Stats { return &ev.stats }
+
+// EstimationError returns dis' − dis = −2⟨q_r, x_r⟩ for point id at
+// projection depth d — the random variable of Eq. 2 whose distribution
+// Figs. 1–2 plot. Exposed for the figure-reproduction experiments.
+func (r *Res) EstimationError(q []float32, id, d int) (float64, error) {
+	rq, err := r.model.Project(q)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 || d > r.dim {
+		return 0, errors.New("ddc: depth out of range")
+	}
+	x := r.rotated[id]
+	return -2 * vec.Dot64(rq[d:], x[d:]), nil
+}

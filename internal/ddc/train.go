@@ -1,0 +1,121 @@
+package ddc
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/vec"
+)
+
+// The learned correction methods (DDCpca, DDCopq) are calibrated on
+// labeled (approximate distance, threshold) pairs collected from training
+// queries, following §VII-A: each training query's exact K nearest
+// neighbors become label-0 (keep) examples with τ set to the K-th
+// neighbor distance, and randomly sampled points farther than τ become
+// label-1 (prune) examples.
+
+// QuerySamples holds the labeled candidates collected for one training
+// query.
+type QuerySamples struct {
+	Query  []float32
+	Tau    float32   // K-th nearest neighbor distance
+	IDs    []int     // candidate point ids
+	Exact  []float32 // exact distances, aligned with IDs
+	Labels []int     // 1 iff Exact > Tau
+}
+
+// CollectConfig controls sample collection.
+type CollectConfig struct {
+	K           int // neighbors per query (label 0); default 100
+	NegPerQuery int // label-1 samples per query; default 100
+	Seed        int64
+	Workers     int
+}
+
+// CollectSamples labels candidates for every training query against data
+// using exact distances. Queries run in parallel.
+func CollectSamples(data, queries [][]float32, cfg CollectConfig) ([]QuerySamples, error) {
+	if len(data) == 0 {
+		return nil, errors.New("ddc: empty data")
+	}
+	if len(queries) == 0 {
+		return nil, errors.New("ddc: no training queries")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 100
+	}
+	if cfg.K > len(data) {
+		cfg.K = len(data)
+	}
+	if cfg.NegPerQuery <= 0 {
+		cfg.NegPerQuery = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]QuerySamples, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for qi := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*104729))
+			q := queries[qi]
+			rq := heap.NewResultQueue(cfg.K)
+			for id, row := range data {
+				d := vec.L2Sq(q, row)
+				if d < rq.Threshold() {
+					rq.Push(id, d)
+				}
+			}
+			knn := rq.Sorted()
+			tau := knn[len(knn)-1].Dist
+			qs := QuerySamples{Query: q, Tau: tau}
+			inKNN := make(map[int]struct{}, len(knn))
+			for _, it := range knn {
+				qs.IDs = append(qs.IDs, it.ID)
+				qs.Exact = append(qs.Exact, it.Dist)
+				qs.Labels = append(qs.Labels, 0)
+				inKNN[it.ID] = struct{}{}
+			}
+			// Negatives: rejection-sample points beyond tau. Nearly every
+			// random point qualifies, so the attempt cap is generous.
+			negs := 0
+			for attempts := 0; negs < cfg.NegPerQuery && attempts < cfg.NegPerQuery*20; attempts++ {
+				id := rng.Intn(len(data))
+				if _, ok := inKNN[id]; ok {
+					continue
+				}
+				d := vec.L2Sq(q, data[id])
+				if d <= tau {
+					continue
+				}
+				qs.IDs = append(qs.IDs, id)
+				qs.Exact = append(qs.Exact, d)
+				qs.Labels = append(qs.Labels, 1)
+				negs++
+			}
+			out[qi] = qs
+		}(qi)
+	}
+	wg.Wait()
+	for qi := range out {
+		hasNeg := false
+		for _, l := range out[qi].Labels {
+			if l == 1 {
+				hasNeg = true
+				break
+			}
+		}
+		if !hasNeg {
+			return nil, errors.New("ddc: a training query produced no label-1 samples; dataset too small or K too large")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+// Package flat implements the exhaustive-scan index: every query compares
+// against every point through the DCO. With an approximate comparator this
+// is exactly the linear-scan setting of the paper's Table III — the
+// threshold of the growing result queue prunes most of the scan — and it
+// is the correct choice for small collections where graph construction
+// doesn't pay for itself.
+package flat
+
+import (
+	"errors"
+	"fmt"
+
+	"resinfer/internal/core"
+	"resinfer/internal/heap"
+)
+
+// Index is a flat index over n points. It stores no per-point state; the
+// vectors live in the DCO.
+type Index struct {
+	size int
+	dim  int
+}
+
+// Build creates a flat index over data.
+func Build(data [][]float32) (*Index, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("flat: empty data")
+	}
+	return &Index{size: len(data), dim: len(data[0])}, nil
+}
+
+// New creates a flat index with explicit dimensions (used by Load paths).
+func New(size, dim int) (*Index, error) {
+	if size <= 0 || dim <= 0 {
+		return nil, errors.New("flat: invalid dimensions")
+	}
+	return &Index{size: size, dim: dim}, nil
+}
+
+// Result is a search hit.
+type Result = heap.Item
+
+// Search scans every point through dco, maintaining a k-bounded result
+// queue whose threshold drives pruning. The budget parameter of the other
+// indexes has no meaning here and is ignored.
+func (idx *Index) Search(dco core.DCO, q []float32, k int) ([]Result, core.Stats, error) {
+	if dco.Size() != idx.size {
+		return nil, core.Stats{}, fmt.Errorf("flat: DCO over %d points, index over %d", dco.Size(), idx.size)
+	}
+	if k <= 0 {
+		return nil, core.Stats{}, errors.New("flat: k must be positive")
+	}
+	ev, err := dco.NewQuery(q)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	rq := heap.NewResultQueue(k)
+	for id := 0; id < idx.size; id++ {
+		tau := rq.Threshold()
+		d, pruned := ev.Compare(id, tau)
+		if pruned {
+			continue
+		}
+		if d < tau {
+			rq.Push(id, d)
+		}
+	}
+	return rq.Sorted(), *ev.Stats(), nil
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return idx.size }
+
+// Dim returns the indexed dimensionality.
+func (idx *Index) Dim() int { return idx.dim }

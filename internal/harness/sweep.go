@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"resinfer/internal/core"
+	"resinfer/internal/dataset"
+	"resinfer/internal/hnsw"
+	"resinfer/internal/ivf"
+)
+
+// Point is one measurement on a time–accuracy curve: the swept parameter
+// (ef for HNSW, nprobe for IVF), the achieved recall@K, queries per
+// second, and the aggregated DCO work counters.
+type Point struct {
+	Param  int
+	Recall float64
+	QPS    float64
+	Stats  core.Stats
+}
+
+// SweepHNSW measures the QPS–recall curve of the graph index under dco for
+// each beam width in efs.
+func SweepHNSW(idx *hnsw.Index, dco core.DCO, queries [][]float32, gt [][]int, k int, efs []int) ([]Point, error) {
+	points := make([]Point, 0, len(efs))
+	for _, ef := range efs {
+		results := make([][]int, len(queries))
+		var agg core.Stats
+		start := time.Now()
+		for qi, q := range queries {
+			items, st, err := idx.Search(dco, q, k, ef)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(st)
+			ids := make([]int, len(items))
+			for i, it := range items {
+				ids[i] = it.ID
+			}
+			results[qi] = ids
+		}
+		elapsed := time.Since(start)
+		points = append(points, Point{
+			Param:  ef,
+			Recall: dataset.Recall(results, gt, k),
+			QPS:    float64(len(queries)) / elapsed.Seconds(),
+			Stats:  agg,
+		})
+	}
+	return points, nil
+}
+
+// SweepIVF measures the QPS–recall curve of the inverted-file index under
+// dco for each probe count in nprobes.
+func SweepIVF(idx *ivf.Index, dco core.DCO, queries [][]float32, gt [][]int, k int, nprobes []int) ([]Point, error) {
+	points := make([]Point, 0, len(nprobes))
+	for _, np := range nprobes {
+		results := make([][]int, len(queries))
+		var agg core.Stats
+		start := time.Now()
+		for qi, q := range queries {
+			items, st, err := idx.Search(dco, q, k, np)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(st)
+			ids := make([]int, len(items))
+			for i, it := range items {
+				ids[i] = it.ID
+			}
+			results[qi] = ids
+		}
+		elapsed := time.Since(start)
+		points = append(points, Point{
+			Param:  np,
+			Recall: dataset.Recall(results, gt, k),
+			QPS:    float64(len(queries)) / elapsed.Seconds(),
+			Stats:  agg,
+		})
+	}
+	return points, nil
+}
+
+// Curve is a labeled series of points (one line in a paper figure).
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// RenderCurves prints curves as an aligned text table: one block per
+// curve, one row per swept parameter.
+func RenderCurves(w io.Writer, title, paramName string, dim int, curves []Curve) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "method\t%s\trecall\tQPS\tscan-rate\tpruned-rate\n", paramName)
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.0f\t%.3f\t%.3f\n",
+				c.Label, p.Param, p.Recall, p.QPS,
+				p.Stats.ScanRate(dim), p.Stats.PrunedRate())
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// QPSAtRecall interpolates a curve's QPS at a target recall, the paper's
+// standard way of comparing methods ("2x speedup at 0.95 recall"). It
+// returns 0 when the curve never reaches the target.
+func QPSAtRecall(points []Point, target float64) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Recall >= target && p.QPS > best {
+			best = p.QPS
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package hnsw
+
+import (
+	"errors"
+	"io"
+
+	"resinfer/internal/persist"
+)
+
+const indexMagic = "RIHNSW1"
+
+// Encode writes the index (graph structure and vectors) onto an existing
+// persist stream, so it can be composed into larger files.
+func (idx *Index) Encode(pw *persist.Writer) {
+	pw.Magic(indexMagic)
+	pw.Int(idx.dim)
+	pw.Int(idx.m)
+	pw.Int(idx.mMax0)
+	pw.Int(idx.efCon)
+	pw.I64(int64(idx.entry))
+	pw.Int(idx.maxLevel)
+	pw.Int(len(idx.links))
+	for _, perLevel := range idx.links {
+		pw.Int(len(perLevel))
+		for _, lst := range perLevel {
+			pw.I32s(lst)
+		}
+	}
+	pw.F32Mat(idx.data)
+}
+
+// Decode reads an index previously written by Encode.
+func Decode(pr *persist.Reader) (*Index, error) {
+	pr.Magic(indexMagic)
+	idx := &Index{
+		dim:      pr.Int(),
+		m:        pr.Int(),
+		mMax0:    pr.Int(),
+		efCon:    pr.Int(),
+		entry:    int32(pr.I64()),
+		maxLevel: pr.Int(),
+	}
+	n := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > persist.MaxSliceLen {
+		return nil, errors.New("hnsw: corrupt node count")
+	}
+	idx.links = make([][][]int32, n)
+	for i := 0; i < n; i++ {
+		levels := pr.Int()
+		if pr.Err() != nil {
+			return nil, pr.Err()
+		}
+		if levels < 0 || levels > 64 {
+			return nil, errors.New("hnsw: corrupt level count")
+		}
+		idx.links[i] = make([][]int32, levels)
+		for l := 0; l < levels; l++ {
+			idx.links[i][l] = pr.I32s()
+		}
+	}
+	idx.data = pr.F32Mat()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if len(idx.data) != n || idx.dim <= 0 || int(idx.entry) >= n || idx.entry < 0 {
+		return nil, errors.New("hnsw: corrupt index")
+	}
+	for node, perLevel := range idx.links {
+		for _, lst := range perLevel {
+			for _, nb := range lst {
+				if nb < 0 || int(nb) >= n || int(nb) == node {
+					return nil, errors.New("hnsw: corrupt adjacency")
+				}
+			}
+		}
+	}
+	return idx, nil
+}
+
+// WriteTo serializes the index to w as a standalone stream.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w)
+	idx.Encode(pw)
+	return 0, pw.Flush()
+}
+
+// Read deserializes a standalone index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	return Decode(persist.NewReader(r))
+}

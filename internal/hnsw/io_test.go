@@ -1,0 +1,60 @@
+package hnsw
+
+import (
+	"bytes"
+	"testing"
+
+	"resinfer/internal/core"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ds, _, _ := getFixtures(t)
+	idx, err := Build(ds.Data[:800], Config{M: 8, EfConstruction: 50, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() || loaded.Dim() != idx.Dim() ||
+		loaded.Entry() != idx.Entry() || loaded.MaxLevel() != idx.MaxLevel() {
+		t.Fatal("metadata lost")
+	}
+	// Identical searches.
+	dco, _ := core.NewExact(ds.Data[:800])
+	a, _, err := idx.Search(dco, ds.Queries[0], 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.Search(dco, ds.Queries[0], 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("search results differ after round trip")
+		}
+	}
+}
+
+func TestIndexReadRejectsCorruption(t *testing.T) {
+	ds, _, _ := getFixtures(t)
+	idx, _ := Build(ds.Data[:200], Config{M: 8, EfConstruction: 40, Seed: 53})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Read(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte("WRONGXY"), good[7:]...)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected magic error")
+	}
+}

@@ -1,0 +1,73 @@
+package ivf
+
+import (
+	"errors"
+	"io"
+
+	"resinfer/internal/persist"
+)
+
+const indexMagic = "RIIVF1"
+
+// Encode writes the index (centroids and inverted lists) onto an existing
+// persist stream. The base vectors live in the DCO, not the IVF index, and
+// are not written.
+func (idx *Index) Encode(pw *persist.Writer) {
+	pw.Magic(indexMagic)
+	pw.Int(idx.dim)
+	pw.Int(idx.size)
+	pw.F32Mat(idx.centroids)
+	pw.Int(len(idx.lists))
+	for _, lst := range idx.lists {
+		pw.I32s(lst)
+	}
+}
+
+// Decode reads an index previously written by Encode.
+func Decode(pr *persist.Reader) (*Index, error) {
+	pr.Magic(indexMagic)
+	idx := &Index{
+		dim:       pr.Int(),
+		size:      pr.Int(),
+		centroids: pr.F32Mat(),
+	}
+	nl := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if nl <= 0 || nl > persist.MaxSliceLen {
+		return nil, errors.New("ivf: corrupt list count")
+	}
+	idx.lists = make([][]int32, nl)
+	total := 0
+	for i := range idx.lists {
+		idx.lists[i] = pr.I32s()
+		total += len(idx.lists[i])
+	}
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if idx.dim <= 0 || len(idx.centroids) != nl || total != idx.size {
+		return nil, errors.New("ivf: corrupt index")
+	}
+	for _, lst := range idx.lists {
+		for _, id := range lst {
+			if id < 0 || int(id) >= idx.size {
+				return nil, errors.New("ivf: corrupt list entry")
+			}
+		}
+	}
+	return idx, nil
+}
+
+// WriteTo serializes the index to w as a standalone stream.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w)
+	idx.Encode(pw)
+	return 0, pw.Flush()
+}
+
+// Read deserializes a standalone index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	return Decode(persist.NewReader(r))
+}

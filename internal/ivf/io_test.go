@@ -1,0 +1,53 @@
+package ivf
+
+import (
+	"bytes"
+	"testing"
+
+	"resinfer/internal/core"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ds, _, idx := getFixtures(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() || loaded.NList() != idx.NList() || loaded.Dim() != idx.Dim() {
+		t.Fatal("metadata lost")
+	}
+	dco, _ := core.NewExact(ds.Data)
+	a, _, err := idx.Search(dco, ds.Queries[0], 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.Search(dco, ds.Queries[0], 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("search results differ after round trip")
+		}
+	}
+}
+
+func TestIndexReadRejectsCorruption(t *testing.T) {
+	_, _, idx := getFixtures(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Read(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte("NOPEXY"), good[6:]...)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected magic error")
+	}
+}

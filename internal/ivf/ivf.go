@@ -1,0 +1,130 @@
+// Package ivf implements the inverted-file index (IVF) of §II-A: data is
+// clustered with k-means; at query time the nprobe closest clusters are
+// scanned through a pluggable core.DCO, so the same index serves IVF
+// (exact), IVF++ (ADSampling) and the IVF-DDC* variants.
+package ivf
+
+import (
+	"errors"
+	"fmt"
+
+	"resinfer/internal/core"
+	"resinfer/internal/heap"
+	"resinfer/internal/kmeans"
+)
+
+// Config controls index construction.
+type Config struct {
+	// NList is the number of clusters; default max(16, √n) (the paper uses
+	// 4096 at million scale, ≈ √n points per list).
+	NList int
+	// TrainIters bounds the k-means iterations; default 20.
+	TrainIters int
+	Seed       int64
+	Workers    int
+}
+
+// Index is a built IVF index. Search is safe for concurrent use.
+type Index struct {
+	dim       int
+	centroids [][]float32
+	lists     [][]int32
+	size      int
+}
+
+// Build clusters data into cfg.NList inverted lists.
+func Build(data [][]float32, cfg Config) (*Index, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("ivf: empty data")
+	}
+	if cfg.NList <= 0 {
+		cfg.NList = 16
+		for cfg.NList*cfg.NList < len(data) {
+			cfg.NList *= 2
+		}
+	}
+	if cfg.NList > len(data) {
+		cfg.NList = len(data)
+	}
+	res, err := kmeans.Train(data, kmeans.Config{
+		K:        cfg.NList,
+		MaxIters: cfg.TrainIters,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: clustering: %w", err)
+	}
+	idx := &Index{
+		dim:       len(data[0]),
+		centroids: res.Centroids,
+		lists:     make([][]int32, cfg.NList),
+		size:      len(data),
+	}
+	for i, c := range res.Assign {
+		idx.lists[c] = append(idx.lists[c], int32(i))
+	}
+	return idx, nil
+}
+
+// Result is a search hit.
+type Result = heap.Item
+
+// Search scans the nprobe closest inverted lists with the given DCO and
+// returns the approximate k nearest neighbors plus the query's work
+// counters.
+func (idx *Index) Search(dco core.DCO, q []float32, k, nprobe int) ([]Result, core.Stats, error) {
+	if dco.Size() != idx.size {
+		return nil, core.Stats{}, fmt.Errorf("ivf: DCO over %d points, index over %d", dco.Size(), idx.size)
+	}
+	if k <= 0 {
+		return nil, core.Stats{}, errors.New("ivf: k must be positive")
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	ev, err := dco.NewQuery(q)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	probes := kmeans.NearestCentroids(idx.centroids, q, nprobe)
+	rq := heap.NewResultQueue(k)
+	for _, c := range probes {
+		for _, id := range idx.lists[c] {
+			tau := rq.Threshold()
+			d, pruned := ev.Compare(int(id), tau)
+			if pruned {
+				continue
+			}
+			if d < tau {
+				rq.Push(int(id), d)
+			}
+		}
+	}
+	return rq.Sorted(), *ev.Stats(), nil
+}
+
+// Dim returns the indexed dimensionality.
+func (idx *Index) Dim() int { return idx.dim }
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return idx.size }
+
+// NList returns the number of inverted lists.
+func (idx *Index) NList() int { return len(idx.lists) }
+
+// Centroids exposes the coarse quantizer (read-only by convention).
+func (idx *Index) Centroids() [][]float32 { return idx.centroids }
+
+// List returns inverted list c (read-only by convention).
+func (idx *Index) List(c int) []int32 { return idx.lists[c] }
+
+// IndexBytes reports the memory held by centroids and lists (Exp-3's space
+// accounting).
+func (idx *Index) IndexBytes() int64 {
+	total := int64(len(idx.centroids)) * int64(idx.dim) * 4
+	for _, l := range idx.lists {
+		total += int64(len(l)) * 4
+	}
+	return total
+}

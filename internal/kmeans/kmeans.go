@@ -1,0 +1,263 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding and
+// parallel assignment. It is the clustering substrate shared by the IVF
+// coarse quantizer (§II-A of the paper) and the per-subspace codebook
+// training of product quantization (§V-B).
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"resinfer/internal/vec"
+)
+
+// Config controls training.
+type Config struct {
+	K        int   // number of centroids (required, >= 1)
+	MaxIters int   // Lloyd iterations; default 25
+	Seed     int64 // RNG seed for k-means++ and empty-cluster repair
+	// MinShift stops early when no centroid moved more than this squared
+	// distance in an iteration; default 1e-6.
+	MinShift float64
+	// Workers bounds parallelism for the assignment step; default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Result holds a trained clustering.
+type Result struct {
+	Centroids  [][]float32 // K rows of dimension D
+	Assign     []int       // len(data); cluster index per point
+	Sizes      []int       // points per cluster
+	Iterations int         // Lloyd iterations actually run
+	Inertia    float64     // final sum of squared distances to centroids
+}
+
+// Train clusters data (n rows, equal dimension) into cfg.K clusters.
+func Train(data [][]float32, cfg Config) (*Result, error) {
+	if len(data) == 0 {
+		return nil, errors.New("kmeans: empty data")
+	}
+	d := len(data[0])
+	for _, row := range data {
+		if len(row) != d {
+			return nil, errors.New("kmeans: ragged data")
+		}
+	}
+	if cfg.K < 1 {
+		return nil, errors.New("kmeans: K must be >= 1")
+	}
+	if cfg.K > len(data) {
+		return nil, errors.New("kmeans: K exceeds number of points")
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 25
+	}
+	if cfg.MinShift <= 0 {
+		cfg.MinShift = 1e-6
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := seedPlusPlus(data, cfg.K, rng)
+	assign := make([]int, len(data))
+	res := &Result{Centroids: centroids, Assign: assign, Sizes: make([]int, cfg.K)}
+
+	dists := make([]float32, len(data))
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		res.Iterations = iter + 1
+		assignParallel(data, centroids, assign, dists, cfg.Workers)
+
+		// Recompute centroids.
+		sums := make([][]float64, cfg.K)
+		for k := range sums {
+			sums[k] = make([]float64, d)
+		}
+		counts := make([]int, cfg.K)
+		for i, row := range data {
+			k := assign[i]
+			counts[k]++
+			s := sums[k]
+			for j, v := range row {
+				s[j] += float64(v)
+			}
+		}
+		maxShift := 0.0
+		for k := 0; k < cfg.K; k++ {
+			if counts[k] == 0 {
+				// Empty cluster: reseed at the point currently farthest
+				// from its centroid, the standard repair.
+				far := farthestPoint(dists)
+				copy32(centroids[k], data[far])
+				counts[k] = 1
+				continue
+			}
+			inv := 1 / float64(counts[k])
+			var shift float64
+			for j := 0; j < d; j++ {
+				nv := float32(sums[k][j] * inv)
+				dv := float64(nv - centroids[k][j])
+				shift += dv * dv
+				centroids[k][j] = nv
+			}
+			if shift > maxShift {
+				maxShift = shift
+			}
+		}
+		copy(res.Sizes, counts)
+		if maxShift < cfg.MinShift {
+			break
+		}
+	}
+	// Final assignment against the final centroids.
+	assignParallel(data, centroids, assign, dists, cfg.Workers)
+	for k := range res.Sizes {
+		res.Sizes[k] = 0
+	}
+	var inertia float64
+	for i := range data {
+		res.Sizes[assign[i]]++
+		inertia += float64(dists[i])
+	}
+	res.Inertia = inertia
+	return res, nil
+}
+
+// NearestCentroid returns the index of the centroid closest to x and the
+// squared distance to it.
+func NearestCentroid(centroids [][]float32, x []float32) (int, float32) {
+	best, bestD := 0, float32(math.Inf(1))
+	for k, c := range centroids {
+		d := vec.L2Sq(x, c)
+		if d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best, bestD
+}
+
+// NearestCentroids returns the indices of the nprobe closest centroids to
+// x, ordered by ascending distance. This is the IVF probe-selection step.
+func NearestCentroids(centroids [][]float32, x []float32, nprobe int) []int {
+	if nprobe > len(centroids) {
+		nprobe = len(centroids)
+	}
+	type kd struct {
+		k int
+		d float32
+	}
+	all := make([]kd, len(centroids))
+	for k, c := range centroids {
+		all[k] = kd{k, vec.L2Sq(x, c)}
+	}
+	// Partial selection sort is fine: nprobe << K in practice.
+	out := make([]int, 0, nprobe)
+	for i := 0; i < nprobe; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[best].d {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+		out = append(out, all[i].k)
+	}
+	return out
+}
+
+func seedPlusPlus(data [][]float32, k int, rng *rand.Rand) [][]float32 {
+	d := len(data[0])
+	centroids := make([][]float32, k)
+	for i := range centroids {
+		centroids[i] = make([]float32, d)
+	}
+	first := rng.Intn(len(data))
+	copy32(centroids[0], data[first])
+
+	// minDist[i] = squared distance from data[i] to nearest chosen centroid.
+	minDist := make([]float64, len(data))
+	total := 0.0
+	for i, row := range data {
+		minDist[i] = float64(vec.L2Sq(row, centroids[0]))
+		total += minDist[i]
+	}
+	for c := 1; c < k; c++ {
+		var chosen int
+		if total <= 0 {
+			chosen = rng.Intn(len(data))
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			chosen = len(data) - 1
+			for i, w := range minDist {
+				acc += w
+				if acc >= target {
+					chosen = i
+					break
+				}
+			}
+		}
+		copy32(centroids[c], data[chosen])
+		if c == k-1 {
+			break
+		}
+		total = 0
+		for i, row := range data {
+			nd := float64(vec.L2Sq(row, centroids[c]))
+			if nd < minDist[i] {
+				minDist[i] = nd
+			}
+			total += minDist[i]
+		}
+	}
+	return centroids
+}
+
+func assignParallel(data, centroids [][]float32, assign []int, dists []float32, workers int) {
+	if workers > len(data) {
+		workers = len(data)
+	}
+	if workers <= 1 {
+		for i, row := range data {
+			assign[i], dists[i] = NearestCentroid(centroids, row)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(data) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				assign[i], dists[i] = NearestCentroid(centroids, data[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func farthestPoint(dists []float32) int {
+	best, bestD := 0, float32(-1)
+	for i, d := range dists {
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func copy32(dst, src []float32) { copy(dst, src) }

@@ -1,0 +1,36 @@
+package learn
+
+import (
+	"errors"
+
+	"resinfer/internal/persist"
+)
+
+const clfMagic = "RICLF1"
+
+// Encode writes the classifier to w.
+func (c *Classifier) Encode(w *persist.Writer) {
+	w.Magic(clfMagic)
+	w.F64s(c.W)
+	w.F64(c.B)
+	w.F64s(c.Mean)
+	w.F64s(c.Std)
+}
+
+// Decode reads a classifier previously written by Encode.
+func Decode(r *persist.Reader) (*Classifier, error) {
+	r.Magic(clfMagic)
+	c := &Classifier{
+		W: r.F64s(),
+	}
+	c.B = r.F64()
+	c.Mean = r.F64s()
+	c.Std = r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(c.W) == 0 || len(c.Mean) != len(c.W) || len(c.Std) != len(c.W) {
+		return nil, errors.New("learn: corrupt encoded classifier")
+	}
+	return c, nil
+}

@@ -1,0 +1,32 @@
+package matrix
+
+import (
+	"errors"
+
+	"resinfer/internal/persist"
+)
+
+const matMagic = "RIMAT1"
+
+// Encode writes m to w.
+func (m *Matrix) Encode(w *persist.Writer) {
+	w.Magic(matMagic)
+	w.Int(m.Rows)
+	w.Int(m.Cols)
+	w.F64s(m.Data)
+}
+
+// Decode reads a matrix previously written by Encode.
+func Decode(r *persist.Reader) (*Matrix, error) {
+	r.Magic(matMagic)
+	rows := r.Int()
+	cols := r.Int()
+	data := r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+		return nil, errors.New("matrix: corrupt encoded matrix")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}

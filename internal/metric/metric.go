@@ -1,0 +1,97 @@
+// Package metric implements the reductions of §II-A: cosine similarity
+// and (bounded) maximum inner product search transform into Euclidean
+// nearest-neighbor search, so every distance computation method in this
+// library applies to those metrics too.
+//
+//   - Cosine: normalize data and queries to unit length; then
+//     ‖x−q‖² = 2 − 2·cos(x,q), a monotone decreasing map — the Euclidean
+//     KNN of the normalized vectors are exactly the cosine KNN.
+//   - Inner product: append one coordinate. Data rows x with norms
+//     ‖x‖ ≤ R become (x, sqrt(R²−‖x‖²)); the query becomes (q, 0). Then
+//     ‖x̂−q̂‖² = ‖q‖² + R² − 2⟨x,q⟩, monotone decreasing in ⟨x,q⟩.
+package metric
+
+import (
+	"errors"
+	"math"
+
+	"resinfer/internal/vec"
+)
+
+// NormalizeForCosine returns unit-normalized copies of rows. Rows with
+// zero norm are rejected: cosine similarity is undefined for them.
+func NormalizeForCosine(rows [][]float32) ([][]float32, error) {
+	out := make([][]float32, len(rows))
+	for i, row := range rows {
+		n := vec.Norm(row)
+		if n == 0 {
+			return nil, errors.New("metric: zero vector has no cosine direction")
+		}
+		c := vec.Clone(row)
+		vec.Scale(c, 1/n)
+		out[i] = c
+	}
+	return out, nil
+}
+
+// CosineFromSqDist converts a squared Euclidean distance between unit
+// vectors back to the cosine similarity.
+func CosineFromSqDist(d float32) float32 {
+	return 1 - d/2
+}
+
+// IPTransform holds the augmentation parameters of the inner-product
+// reduction.
+type IPTransform struct {
+	Dim    int     // original dimensionality
+	MaxSq  float64 // R²: the maximum squared norm among the data rows
+	QNorms bool    // reserved for symmetric variants
+}
+
+// NewIPTransform scans the data rows and returns the transform plus the
+// augmented rows (x, sqrt(R²−‖x‖²)).
+func NewIPTransform(rows [][]float32) (*IPTransform, [][]float32, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, nil, errors.New("metric: empty data")
+	}
+	dim := len(rows[0])
+	var maxSq float64
+	for _, row := range rows {
+		if len(row) != dim {
+			return nil, nil, errors.New("metric: ragged data")
+		}
+		if n := float64(vec.NormSq(row)); n > maxSq {
+			maxSq = n
+		}
+	}
+	t := &IPTransform{Dim: dim, MaxSq: maxSq}
+	out := make([][]float32, len(rows))
+	for i, row := range rows {
+		aug := make([]float32, dim+1)
+		copy(aug, row)
+		rem := maxSq - float64(vec.NormSq(row))
+		if rem < 0 {
+			rem = 0
+		}
+		aug[dim] = float32(math.Sqrt(rem))
+		out[i] = aug
+	}
+	return t, out, nil
+}
+
+// Query augments a query vector with a zero coordinate.
+func (t *IPTransform) Query(q []float32) ([]float32, error) {
+	if len(q) != t.Dim {
+		return nil, errors.New("metric: query dimension mismatch")
+	}
+	aug := make([]float32, t.Dim+1)
+	copy(aug, q)
+	return aug, nil
+}
+
+// IPFromSqDist recovers the inner product ⟨x, q⟩ from the augmented
+// squared distance and the original query.
+func (t *IPTransform) IPFromSqDist(d float32, q []float32) float32 {
+	// ‖x̂−q̂‖² = ‖q‖² + R² − 2⟨x,q⟩  ⇒  ⟨x,q⟩ = (‖q‖² + R² − d)/2.
+	return (vec.NormSq(q) + float32(t.MaxSq) - d) / 2
+}

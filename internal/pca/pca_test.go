@@ -1,0 +1,193 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resinfer/internal/vec"
+)
+
+// anisotropic draws n samples from N(mean, diag(vars)) rotated by an
+// arbitrary fixed rotation so PCA has something to discover.
+func anisotropic(r *rand.Rand, n int, vars []float64) [][]float32 {
+	d := len(vars)
+	data := make([][]float32, n)
+	for i := range data {
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = float32(math.Sqrt(vars[j]) * r.NormFloat64())
+		}
+		data[i] = row
+	}
+	return data
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestVariancesDescendingAndRecovered(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vars := []float64{16, 9, 4, 1}
+	data := anisotropic(r, 20000, vars)
+	m, err := Train(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(m.Variances); i++ {
+		if m.Variances[i] < m.Variances[i+1] {
+			t.Fatalf("variances not descending: %v", m.Variances)
+		}
+	}
+	for i, want := range vars {
+		if math.Abs(m.Variances[i]-want) > 0.5 {
+			t.Fatalf("variance[%d] = %v, want ~%v", i, m.Variances[i], want)
+		}
+	}
+}
+
+func TestProjectPreservesDistances(t *testing.T) {
+	// Full-dimensional rotation is an isometry: pairwise distances are
+	// preserved (the precondition for using rotated vectors for exact
+	// distances).
+	r := rand.New(rand.NewSource(2))
+	data := anisotropic(r, 500, []float64{5, 3, 2, 1, 0.5, 0.2})
+	m, err := Train(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := data[r.Intn(len(data))]
+		b := data[r.Intn(len(data))]
+		pa, err := m.Project(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := m.Project(b)
+		orig := float64(vec.L2Sq(a, b))
+		rot := float64(vec.L2Sq(pa, pb))
+		if math.Abs(orig-rot) > 1e-2*(1+orig) {
+			t.Fatalf("rotation is not an isometry: %v vs %v", orig, rot)
+		}
+	}
+}
+
+func TestProjectDimensionMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := anisotropic(r, 100, []float64{1, 1})
+	m, _ := Train(data, Config{})
+	if _, err := m.Project([]float32{1}); err != nil {
+		// good
+	} else {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestVarianceExplainedMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := anisotropic(r, 3000, []float64{10, 5, 2, 1, 0.5, 0.1})
+	m, _ := Train(data, Config{})
+	f := func(du, dv uint8) bool {
+		a, b := int(du)%7, int(dv)%7
+		if a > b {
+			a, b = b, a
+		}
+		return m.VarianceExplained(a) <= m.VarianceExplained(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if m.VarianceExplained(0) != 0 {
+		t.Fatal("VE(0) must be 0")
+	}
+	if math.Abs(m.VarianceExplained(6)-1) > 1e-9 {
+		t.Fatal("VE(D) must be 1")
+	}
+	if math.Abs(m.VarianceExplained(99)-1) > 1e-9 {
+		t.Fatal("VE(d>D) clamps to 1")
+	}
+}
+
+func TestResidualVariancePlusLeadEqualsTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := anisotropic(r, 2000, []float64{4, 3, 2, 1})
+	m, _ := Train(data, Config{})
+	total := m.ResidualVariance(0)
+	for d := 0; d <= 4; d++ {
+		lead := total - m.ResidualVariance(d)
+		if math.Abs(lead/total-m.VarianceExplained(d)) > 1e-9 {
+			t.Fatalf("d=%d inconsistent VE vs residual", d)
+		}
+	}
+	if m.ResidualVariance(-1) != total {
+		t.Fatal("negative d clamps to 0")
+	}
+}
+
+func TestSkewControlsVE(t *testing.T) {
+	// High-skew data (image-like) captures much more variance at small d
+	// than flat data (GLOVE-like) — the Exp-1 selection criterion.
+	r := rand.New(rand.NewSource(6))
+	d := 32
+	skewed := make([]float64, d)
+	flat := make([]float64, d)
+	for i := 0; i < d; i++ {
+		skewed[i] = math.Pow(0.75, float64(i))
+		flat[i] = 1
+	}
+	ms, _ := Train(anisotropic(r, 4000, skewed), Config{})
+	mf, _ := Train(anisotropic(r, 4000, flat), Config{})
+	if ms.VarianceExplained(8) <= mf.VarianceExplained(8)+0.1 {
+		t.Fatalf("skewed VE(8)=%v should far exceed flat VE(8)=%v",
+			ms.VarianceExplained(8), mf.VarianceExplained(8))
+	}
+}
+
+func TestSampledTrainingClose(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vars := []float64{8, 4, 2, 1}
+	data := anisotropic(r, 20000, vars)
+	full, _ := Train(data, Config{})
+	sampled, err := Train(data, Config{SampleSize: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vars {
+		if math.Abs(full.Variances[i]-sampled.Variances[i]) > 0.8 {
+			t.Fatalf("sampled variance[%d]=%v too far from full %v",
+				i, sampled.Variances[i], full.Variances[i])
+		}
+	}
+}
+
+func TestSigmasMatchVariances(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := anisotropic(r, 1000, []float64{9, 4, 1})
+	m, _ := Train(data, Config{})
+	for i := range m.Variances {
+		if math.Abs(float64(m.Sigmas[i])*float64(m.Sigmas[i])-m.Variances[i]) > 1e-3 {
+			t.Fatalf("sigma[%d]^2 != variance", i)
+		}
+	}
+}
+
+func TestProjectAll(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data := anisotropic(r, 50, []float64{2, 1})
+	m, _ := Train(data, Config{})
+	rot, err := m.ProjectAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rot) != len(data) {
+		t.Fatal("length mismatch")
+	}
+	p0, _ := m.Project(data[0])
+	if !vec.Equal(rot[0], p0) {
+		t.Fatal("ProjectAll disagrees with Project")
+	}
+}

@@ -1,0 +1,299 @@
+// Package persist provides the little-endian binary encoding used by every
+// Save/Load pair in the library (indexes, rotations, quantizers,
+// classifiers). A Writer/Reader carries its first error so call sites can
+// chain writes and check once at the end, and every stream starts with a
+// magic string and version so stale files fail loudly instead of decoding
+// garbage.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrBadMagic reports a stream that does not start with the expected
+// section marker.
+var ErrBadMagic = errors.New("persist: bad magic")
+
+// MaxSliceLen bounds decoded slice lengths as a corruption guard.
+const MaxSliceLen = 1 << 31
+
+// Writer encodes values to an underlying stream, retaining the first
+// error.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Magic writes a fixed section marker.
+func (w *Writer) Magic(s string) { w.write([]byte(s)) }
+
+// U32 writes a uint32.
+func (w *Writer) U32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.write(buf[:])
+}
+
+// U64 writes a uint64.
+func (w *Writer) U64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.write(buf[:])
+}
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F32 writes a float32.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// F64 writes a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.write([]byte{b})
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.Int(len(p))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
+
+// F32s writes a length-prefixed []float32.
+func (w *Writer) F32s(xs []float32) {
+	w.Int(len(xs))
+	for _, v := range xs {
+		w.F32(v)
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (w *Writer) F64s(xs []float64) {
+	w.Int(len(xs))
+	for _, v := range xs {
+		w.F64(v)
+	}
+}
+
+// Ints writes a length-prefixed []int.
+func (w *Writer) Ints(xs []int) {
+	w.Int(len(xs))
+	for _, v := range xs {
+		w.I64(int64(v))
+	}
+}
+
+// I32s writes a length-prefixed []int32.
+func (w *Writer) I32s(xs []int32) {
+	w.Int(len(xs))
+	for _, v := range xs {
+		w.U32(uint32(v))
+	}
+}
+
+// F32Mat writes a length-prefixed [][]float32.
+func (w *Writer) F32Mat(rows [][]float32) {
+	w.Int(len(rows))
+	for _, r := range rows {
+		w.F32s(r)
+	}
+}
+
+// Reader decodes values from an underlying stream, retaining the first
+// error.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, p)
+}
+
+// Magic consumes and verifies a section marker.
+func (r *Reader) Magic(s string) {
+	buf := make([]byte, len(s))
+	r.read(buf)
+	if r.err == nil && string(buf) != s {
+		r.err = fmt.Errorf("%w: want %q got %q", ErrBadMagic, s, string(buf))
+	}
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	var buf [4]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	var buf [8]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int encoded as int64.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Len reads a slice length and validates it.
+func (r *Reader) Len() int {
+	n := r.Int()
+	if r.err == nil && (n < 0 || n > MaxSliceLen) {
+		r.err = fmt.Errorf("persist: implausible length %d", n)
+		return 0
+	}
+	return n
+}
+
+// F32 reads a float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool {
+	var buf [1]byte
+	r.read(buf[:])
+	return buf[0] != 0
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	r.read(p)
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// F32s reads a length-prefixed []float32.
+func (r *Reader) F32s() []float32 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.F32()
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64())
+	}
+	return out
+}
+
+// I32s reads a length-prefixed []int32.
+func (r *Reader) I32s() []int32 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.U32())
+	}
+	return out
+}
+
+// F32Mat reads a length-prefixed [][]float32.
+func (r *Reader) F32Mat() [][]float32 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = r.F32s()
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("TEST1")
+	w.U32(42)
+	w.U64(1 << 40)
+	w.I64(-7)
+	w.Int(123456)
+	w.F32(1.5)
+	w.F64(-2.25)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	r.Magic("TEST1")
+	if r.U32() != 42 || r.U64() != 1<<40 || r.I64() != -7 || r.Int() != 123456 {
+		t.Fatal("integer round trip failed")
+	}
+	if r.F32() != 1.5 || r.F64() != -2.25 {
+		t.Fatal("float round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if r.String() != "hello" {
+		t.Fatal("string round trip failed")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	f32s := []float32{1, -2, 3.5}
+	f64s := []float64{math.Pi, -1}
+	ints := []int{-5, 0, 99}
+	i32s := []int32{7, -8}
+	mat := [][]float32{{1, 2}, {3}}
+	w.F32s(f32s)
+	w.F64s(f64s)
+	w.Ints(ints)
+	w.I32s(i32s)
+	w.F32Mat(mat)
+	w.Bytes([]byte{9, 8})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	gotF32 := r.F32s()
+	gotF64 := r.F64s()
+	gotInts := r.Ints()
+	gotI32 := r.I32s()
+	gotMat := r.F32Mat()
+	gotBytes := r.Bytes()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	for i := range f32s {
+		if gotF32[i] != f32s[i] {
+			t.Fatal("f32s")
+		}
+	}
+	for i := range f64s {
+		if gotF64[i] != f64s[i] {
+			t.Fatal("f64s")
+		}
+	}
+	for i := range ints {
+		if gotInts[i] != ints[i] {
+			t.Fatal("ints")
+		}
+	}
+	for i := range i32s {
+		if gotI32[i] != i32s[i] {
+			t.Fatal("i32s")
+		}
+	}
+	if len(gotMat) != 2 || gotMat[0][1] != 2 || gotMat[1][0] != 3 {
+		t.Fatal("mat")
+	}
+	if gotBytes[0] != 9 || gotBytes[1] != 8 {
+		t.Fatal("bytes")
+	}
+}
+
+func TestMagicMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("AAAA")
+	_ = w.Flush()
+	r := NewReader(&buf)
+	r.Magic("BBBB")
+	if !errors.Is(r.Err(), ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", r.Err())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F32s([]float32{1, 2, 3, 4, 5})
+	_ = w.Flush()
+	b := buf.Bytes()
+	r := NewReader(bytes.NewReader(b[:len(b)-3]))
+	_ = r.F32s()
+	if r.Err() == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I64(-1) // negative length
+	_ = w.Flush()
+	r := NewReader(&buf)
+	_ = r.F32s()
+	if r.Err() == nil {
+		t.Fatal("negative length must error")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.U32() // EOF
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected EOF error")
+	}
+	_ = r.U64()
+	_ = r.F32s()
+	if r.Err() != first {
+		t.Fatal("error must be sticky")
+	}
+}
+
+// Property: arbitrary float32 matrices round-trip bit-exactly.
+func TestMatrixRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(8)
+		mat := make([][]float32, rows)
+		for i := range mat {
+			mat[i] = make([]float32, rng.Intn(16))
+			for j := range mat[i] {
+				mat[i][j] = math.Float32frombits(rng.Uint32())
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.F32Mat(mat)
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got := r.F32Mat()
+		if r.Err() != nil || len(got) != len(mat) {
+			return false
+		}
+		for i := range mat {
+			if len(got[i]) != len(mat[i]) {
+				return false
+			}
+			for j := range mat[i] {
+				// Compare bit patterns: NaNs must survive too.
+				if math.Float32bits(got[i][j]) != math.Float32bits(mat[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

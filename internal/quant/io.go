@@ -1,0 +1,87 @@
+package quant
+
+import (
+	"errors"
+
+	"resinfer/internal/matrix"
+	"resinfer/internal/persist"
+)
+
+const (
+	pqMagic  = "RIPQ1"
+	opqMagic = "RIOPQ1"
+)
+
+// EncodeTo writes the product quantizer to w.
+func (pq *PQ) EncodeTo(w *persist.Writer) {
+	w.Magic(pqMagic)
+	w.Int(pq.Dim)
+	w.Int(pq.M)
+	w.Int(pq.Nbits)
+	w.Int(pq.K)
+	w.Ints(pq.Bounds)
+	w.Int(len(pq.Codebooks))
+	for _, cb := range pq.Codebooks {
+		w.F32Mat(cb)
+	}
+}
+
+// DecodePQ reads a product quantizer written by EncodeTo.
+func DecodePQ(r *persist.Reader) (*PQ, error) {
+	r.Magic(pqMagic)
+	pq := &PQ{
+		Dim:    r.Int(),
+		M:      r.Int(),
+		Nbits:  r.Int(),
+		K:      r.Int(),
+		Bounds: r.Ints(),
+	}
+	nb := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nb < 0 || nb > persist.MaxSliceLen {
+		return nil, errors.New("quant: corrupt codebook count")
+	}
+	pq.Codebooks = make([][][]float32, nb)
+	for i := range pq.Codebooks {
+		pq.Codebooks[i] = r.F32Mat()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if pq.Dim <= 0 || pq.M <= 0 || pq.M != nb || len(pq.Bounds) != pq.M+1 ||
+		pq.Bounds[pq.M] != pq.Dim || pq.K != 1<<pq.Nbits {
+		return nil, errors.New("quant: corrupt encoded PQ")
+	}
+	for _, cb := range pq.Codebooks {
+		if len(cb) != pq.K {
+			return nil, errors.New("quant: corrupt codebook size")
+		}
+	}
+	return pq, nil
+}
+
+// EncodeTo writes the OPQ (rotation + PQ) to w.
+func (o *OPQ) EncodeTo(w *persist.Writer) {
+	w.Magic(opqMagic)
+	o.Rotation.Encode(w)
+	o.PQ.EncodeTo(w)
+}
+
+// DecodeOPQ reads an OPQ written by EncodeTo.
+func DecodeOPQ(r *persist.Reader) (*OPQ, error) {
+	r.Magic(opqMagic)
+	rot, err := matrix.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := DecodePQ(r)
+	if err != nil {
+		return nil, err
+	}
+	if rot.Rows != pq.Dim {
+		return nil, errors.New("quant: OPQ rotation/PQ dimension mismatch")
+	}
+	return &OPQ{Rotation: rot, PQ: pq}, nil
+}

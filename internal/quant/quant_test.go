@@ -1,0 +1,270 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resinfer/internal/vec"
+)
+
+func gaussData(r *rand.Rand, n, d int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		row := make([]float32, d)
+		for j := range row {
+			// Correlated coordinates make OPQ's rotation worth learning.
+			base := r.NormFloat64()
+			row[j] = float32(base + 0.3*r.NormFloat64())
+		}
+		data[i] = row
+	}
+	return data
+}
+
+func TestSubspaceBounds(t *testing.T) {
+	b := subspaceBounds(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	b = subspaceBounds(8, 4)
+	if b[4] != 8 || b[1] != 2 {
+		t.Fatalf("even bounds = %v", b)
+	}
+}
+
+func TestTrainPQErrors(t *testing.T) {
+	if _, err := TrainPQ(nil, PQConfig{M: 2}); err == nil {
+		t.Fatal("expected empty error")
+	}
+	data := gaussData(rand.New(rand.NewSource(1)), 300, 8)
+	if _, err := TrainPQ(data, PQConfig{M: 0}); err == nil {
+		t.Fatal("expected M<1 error")
+	}
+	if _, err := TrainPQ(data, PQConfig{M: 9}); err == nil {
+		t.Fatal("expected M>dim error")
+	}
+	if _, err := TrainPQ(data, PQConfig{M: 2, Nbits: 12}); err == nil {
+		t.Fatal("expected Nbits error")
+	}
+	if _, err := TrainPQ(data[:10], PQConfig{M: 2, Nbits: 8}); err == nil {
+		t.Fatal("expected too-few-rows error")
+	}
+}
+
+func TestPQEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := gaussData(r, 500, 12)
+	pq, err := TrainPQ(data, PQConfig{M: 4, Nbits: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding a centroid-exact vector must be lossless.
+	comp := make([]float32, 12)
+	for m := 0; m < pq.M; m++ {
+		copy(comp[pq.Bounds[m]:pq.Bounds[m+1]], pq.Codebooks[m][3])
+	}
+	code, err := pq.Encode(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pq.Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(comp, dec, 1e-6) {
+		t.Fatal("centroid vector must round-trip exactly")
+	}
+}
+
+func TestPQReconstructionBetterThanRandomCode(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := gaussData(r, 800, 16)
+	pq, err := TrainPQ(data, PQConfig{M: 4, Nbits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var encErr, randErr float64
+	for _, row := range data[:100] {
+		e, err := pq.ReconstructionError(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encErr += float64(e)
+		rc := make([]byte, pq.M)
+		for m := range rc {
+			rc[m] = byte(r.Intn(pq.K))
+		}
+		dec, _ := pq.Decode(rc)
+		randErr += float64(vec.L2Sq(row, dec))
+	}
+	if encErr >= randErr {
+		t.Fatalf("encoded error %v must beat random-code error %v", encErr, randErr)
+	}
+}
+
+// Property: LUT asymmetric distance equals the explicit distance between q
+// and the decoded vector.
+func TestLUTMatchesDecodedDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := gaussData(r, 400, 10)
+	pq, err := TrainPQ(data, PQConfig{M: 5, Nbits: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		q := make([]float32, 10)
+		for i := range q {
+			q[i] = float32(rr.NormFloat64())
+		}
+		lut, err := pq.BuildLUT(q)
+		if err != nil {
+			return false
+		}
+		x := data[rr.Intn(len(data))]
+		code, _ := pq.Encode(x)
+		dec, _ := pq.Decode(code)
+		got := float64(lut.Distance(code))
+		want := vec.L2Sq64(q, dec)
+		return math.Abs(got-want) < 1e-2*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAllLayout(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := gaussData(r, 100, 8)
+	pq, err := TrainPQ(data, PQConfig{M: 4, Nbits: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, err := pq.EncodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 100*4 {
+		t.Fatalf("codes len = %d", len(codes))
+	}
+	c7, _ := pq.Encode(data[7])
+	for m := 0; m < 4; m++ {
+		if codes[7*4+m] != c7[m] {
+			t.Fatal("EncodeAll layout mismatch")
+		}
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	pq := &PQ{M: 16, Nbits: 8}
+	if got := pq.CodeBytes(1000); got != 16000 {
+		t.Fatalf("CodeBytes = %d", got)
+	}
+	pq4 := &PQ{M: 16, Nbits: 4}
+	if got := pq4.CodeBytes(1000); got != 8000 {
+		t.Fatalf("CodeBytes nbits=4 = %d", got)
+	}
+}
+
+func TestOPQImprovesOverIdentityStart(t *testing.T) {
+	// On anisotropic, correlated data the learned rotation should not be
+	// worse than plain PQ (identity rotation).
+	r := rand.New(rand.NewSource(6))
+	n, d := 1500, 16
+	data := make([][]float32, n)
+	for i := range data {
+		row := make([]float32, d)
+		shared := r.NormFloat64() * 3
+		for j := range row {
+			row[j] = float32(shared*math.Pow(0.8, float64(j)) + 0.4*r.NormFloat64())
+		}
+		data[i] = row
+	}
+	pqCfg := PQConfig{M: 4, Nbits: 5, Seed: 11}
+	pq, err := TrainPQ(data, pqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pqErr float64
+	for _, row := range data[:300] {
+		e, _ := pq.ReconstructionError(row)
+		pqErr += float64(e)
+	}
+	pqErr /= 300
+
+	opq, err := TrainOPQ(data, OPQConfig{PQ: pqCfg, Iters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opqErr, err := opq.QuantizationError(data[:300])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opqErr > pqErr*1.05 {
+		t.Fatalf("OPQ error %v should not exceed PQ error %v", opqErr, pqErr)
+	}
+}
+
+func TestOPQRotationOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := gaussData(r, 600, 12)
+	opq, err := TrainOPQ(data, OPQConfig{PQ: PQConfig{M: 3, Nbits: 4}, Iters: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opq.Rotation.IsOrthonormal(1e-6) {
+		t.Fatal("OPQ rotation must stay orthonormal")
+	}
+}
+
+func TestOPQLUTMatchesDecoded(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := gaussData(r, 500, 10)
+	opq, err := TrainOPQ(data, OPQConfig{PQ: PQConfig{M: 5, Nbits: 4}, Iters: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[0]
+	lut, err := opq.BuildLUT(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := data[42]
+	code, err := opq.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotQ, _ := opq.Rotate(q)
+	dec, _ := opq.PQ.Decode(code)
+	want := vec.L2Sq64(rotQ, dec)
+	got := float64(lut.Distance(code))
+	if math.Abs(got-want) > 1e-2*(1+want) {
+		t.Fatalf("OPQ LUT distance %v, want %v", got, want)
+	}
+}
+
+func TestOPQEmptyData(t *testing.T) {
+	if _, err := TrainOPQ(nil, OPQConfig{PQ: PQConfig{M: 2}}); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func BenchmarkLUTDistance(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	data := gaussData(r, 400, 32)
+	pq, err := TrainPQ(data, PQConfig{M: 8, Nbits: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut, _ := pq.BuildLUT(data[0])
+	code, _ := pq.Encode(data[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lut.Distance(code)
+	}
+}

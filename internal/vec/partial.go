@@ -1,0 +1,48 @@
+package vec
+
+// The incremental distance-correction algorithms (ADSampling's hypothesis
+// test, the paper's Incremental-DDCres, and the per-level classifiers of
+// DDCpca) all consume distances dimension-range by dimension-range. The
+// helpers here compute those partial quantities without re-scanning the
+// prefix that has already been consumed.
+
+// DotRange returns the inner product of a[lo:hi] and b[lo:hi].
+func DotRange(a, b []float32, lo, hi int) float32 {
+	return Dot(a[lo:hi], b[lo:hi])
+}
+
+// L2SqRange returns the squared Euclidean distance restricted to the
+// coordinate range [lo, hi).
+func L2SqRange(a, b []float32, lo, hi int) float32 {
+	return L2Sq(a[lo:hi], b[lo:hi])
+}
+
+// SuffixNormSq returns, for each cut position d in [0, len(a)], the squared
+// norm of the suffix a[d:]. out[len(a)] is 0. The result is computed in a
+// single backwards pass with float64 accumulation so that successive
+// entries are consistent (out[d] = out[d+1] + a[d]^2).
+func SuffixNormSq(a []float32) []float64 {
+	out := make([]float64, len(a)+1)
+	var s float64
+	for i := len(a) - 1; i >= 0; i-- {
+		s += float64(a[i]) * float64(a[i])
+		out[i] = s
+	}
+	return out
+}
+
+// SuffixWeightedSq returns, for each cut position d, the suffix sum
+// Σ_{i≥d} (a[i]·w[i])². This is the σ² suffix table of DDCres: with
+// a = query (rotated) and w = per-dimension residual standard deviations,
+// entry d equals Σ_{i≥d} q_i² σ_i², so the error bound at projection depth
+// d is m·sqrt(4·out[d]).
+func SuffixWeightedSq(a, w []float32) []float64 {
+	out := make([]float64, len(a)+1)
+	var s float64
+	for i := len(a) - 1; i >= 0; i-- {
+		t := float64(a[i]) * float64(w[i])
+		s += t * t
+		out[i] = s
+	}
+	return out
+}

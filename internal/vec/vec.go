@@ -1,0 +1,199 @@
+// Package vec provides the float32 vector kernels used throughout the
+// library: dot products, squared Euclidean distances, partial (prefix /
+// suffix) distances for incremental distance correction, norms and basic
+// slice arithmetic.
+//
+// All distance-like quantities in this code base are squared Euclidean
+// distances, matching the paper (squaring preserves the ordering of
+// distances, §II-A). Kernels accumulate in float32 with 4-way unrolling;
+// this mirrors the scalar (-O3, SIMD disabled) setting the paper evaluates
+// under. Reductions that feed statistics or training use the float64
+// variants to avoid cancellation.
+package vec
+
+import "math"
+
+// Dot returns the inner product <a, b>. The slices must have equal length.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Dot64 returns the inner product accumulated in float64.
+func Dot64(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// L2Sq returns the squared Euclidean distance between a and b.
+func L2Sq(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2Sq64 returns the squared Euclidean distance accumulated in float64.
+func L2Sq64(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// NormSq returns the squared Euclidean norm of a.
+func NormSq(a []float32) float32 {
+	var s0, s1 float32
+	n := len(a)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0 += a[i] * a[i]
+		s1 += a[i+1] * a[i+1]
+	}
+	if i < n {
+		s0 += a[i] * a[i]
+	}
+	return s0 + s1
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float32 {
+	return float32(math.Sqrt(float64(NormSq(a))))
+}
+
+// Scale multiplies every element of a by c in place.
+func Scale(a []float32, c float32) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// Axpy computes y += alpha*x in place. The slices must have equal length.
+func Axpy(alpha float32, x, y []float32) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float32) []float32 {
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float32) []float32 {
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// SubInto writes a-b into dst, which must have the same length.
+func SubInto(dst, a, b []float32) {
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return out
+}
+
+// Zero sets every element of a to zero.
+func Zero(a []float32) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// ArgMin returns the index of the smallest element of a, or -1 if a is
+// empty. Ties resolve to the lowest index.
+func ArgMin(a []float32) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best, idx := a[0], 0
+	for i := 1; i < len(a); i++ {
+		if a[i] < best {
+			best, idx = a[i], i
+		}
+	}
+	return idx
+}
+
+// Mean returns the arithmetic mean of a (0 for empty input), accumulated in
+// float64.
+func Mean(a []float32) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a {
+		s += float64(v)
+	}
+	return s / float64(len(a))
+}
+
+// Equal reports whether a and b have identical lengths and elements.
+func Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b are element-wise equal within eps.
+func ApproxEqual(a, b []float32, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i])-float64(b[i])) > eps {
+			return false
+		}
+	}
+	return true
+}

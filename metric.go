@@ -1,0 +1,87 @@
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+
+	"resinfer/internal/metric"
+)
+
+// MetricKind selects the similarity measure exposed by the index. All
+// internal computation is squared Euclidean; cosine and inner product are
+// reduced to it with the standard transformations (§II-A of the paper).
+type MetricKind string
+
+// Available metrics.
+const (
+	// L2 ranks by squared Euclidean distance (the default).
+	L2 MetricKind = "l2"
+	// Cosine ranks by descending cosine similarity. Data and queries are
+	// unit-normalized internally; zero vectors are rejected.
+	Cosine MetricKind = "cosine"
+	// InnerProduct ranks by descending inner product. Data rows are
+	// augmented with one coordinate internally.
+	InnerProduct MetricKind = "ip"
+)
+
+// metricState carries the query-side transformation of a non-L2 index.
+type metricState struct {
+	kind MetricKind
+	ip   *metric.IPTransform
+}
+
+// prepareData applies the metric reduction to the raw data rows before
+// index construction. Returns the (possibly transformed) rows.
+func prepareData(data [][]float32, kind MetricKind) ([][]float32, *metricState, error) {
+	switch kind {
+	case "", L2:
+		return data, &metricState{kind: L2}, nil
+	case Cosine:
+		norm, err := metric.NormalizeForCosine(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return norm, &metricState{kind: Cosine}, nil
+	case InnerProduct:
+		tr, aug, err := metric.NewIPTransform(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return aug, &metricState{kind: InnerProduct, ip: tr}, nil
+	}
+	return nil, nil, fmt.Errorf("resinfer: unknown metric %q", kind)
+}
+
+// transformQuery maps a caller query into the index's internal space.
+func (ms *metricState) transformQuery(q []float32) ([]float32, error) {
+	switch ms.kind {
+	case L2:
+		return q, nil
+	case Cosine:
+		norm, err := metric.NormalizeForCosine([][]float32{q})
+		if err != nil {
+			return nil, err
+		}
+		return norm[0], nil
+	case InnerProduct:
+		return ms.ip.Query(q)
+	}
+	return nil, errors.New("resinfer: metric state corrupt")
+}
+
+// Score converts a Neighbor's internal squared distance into the metric's
+// native score: squared distance for L2, cosine similarity for Cosine, and
+// inner product for InnerProduct (which needs the original query).
+func (ix *Index) Score(n Neighbor, q []float32) float32 {
+	switch ix.metric.kind {
+	case Cosine:
+		return metric.CosineFromSqDist(n.Distance)
+	case InnerProduct:
+		return ix.metric.ip.IPFromSqDist(n.Distance, q)
+	default:
+		return n.Distance
+	}
+}
+
+// Metric returns the index's similarity measure.
+func (ix *Index) Metric() MetricKind { return ix.metric.kind }

@@ -1,0 +1,220 @@
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"resinfer/internal/adsampling"
+	"resinfer/internal/core"
+	"resinfer/internal/ddc"
+	"resinfer/internal/flat"
+	"resinfer/internal/hnsw"
+	"resinfer/internal/ivf"
+	"resinfer/internal/matrix"
+	"resinfer/internal/metric"
+	"resinfer/internal/persist"
+)
+
+const (
+	fileMagic = "RESINFER1"
+	adsMagic  = "RIADS1"
+)
+
+// Save serializes the index — structure, vectors, and every enabled
+// comparator — so a later Load skips both construction and training.
+func (ix *Index) Save(w io.Writer) error {
+	pw := persist.NewWriter(w)
+	pw.Magic(fileMagic)
+	pw.String(string(ix.kind))
+	pw.String(string(ix.metric.kind))
+	pw.Int(ix.userDim)
+	if ix.metric.kind == InnerProduct {
+		pw.F64(ix.metric.ip.MaxSq)
+	}
+	switch ix.kind {
+	case HNSW:
+		ix.hnswIdx.Encode(pw)
+	case IVF:
+		ix.ivfIdx.Encode(pw)
+		// IVF does not embed the vectors; write them explicitly.
+		pw.F32Mat(ix.data)
+	case Flat:
+		pw.F32Mat(ix.data)
+	default:
+		return fmt.Errorf("resinfer: cannot serialize index kind %q", ix.kind)
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	modes := make([]string, 0, len(ix.dcos))
+	for m := range ix.dcos {
+		if m != Exact { // Exact is rebuilt from the vectors
+			modes = append(modes, string(m))
+		}
+	}
+	sort.Strings(modes) // deterministic files
+	pw.Int(len(modes))
+	for _, ms := range modes {
+		m := Mode(ms)
+		pw.String(ms)
+		switch m {
+		case ADSampling:
+			d := ix.dcos[m].(*adsampling.DCO)
+			pw.Magic(adsMagic)
+			pw.F64(ix.opts.ADSEpsilon0)
+			pw.Int(ix.opts.DeltaD)
+			d.Rotation().Encode(pw)
+			pw.F32Mat(d.Rotated())
+		case DDCRes:
+			ix.dcos[m].(*ddc.Res).Encode(pw)
+		case DDCPCA:
+			ix.dcos[m].(*ddc.PCADCO).Encode(pw)
+		case DDCOPQ:
+			ix.dcos[m].(*ddc.OPQDCO).Encode(pw)
+		default:
+			return fmt.Errorf("resinfer: cannot serialize mode %s", m)
+		}
+	}
+	return pw.Flush()
+}
+
+// Load deserializes an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	pr := persist.NewReader(r)
+	pr.Magic(fileMagic)
+	kind := IndexKind(pr.String())
+	mk := MetricKind(pr.String())
+	userDim := pr.Int()
+	ms := &metricState{kind: mk}
+	switch mk {
+	case L2, Cosine:
+	case InnerProduct:
+		ms.ip = &metric.IPTransform{Dim: userDim, MaxSq: pr.F64()}
+	default:
+		if pr.Err() == nil {
+			return nil, fmt.Errorf("resinfer: unknown metric %q in stream", mk)
+		}
+	}
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	ix := &Index{kind: kind, userDim: userDim, metric: ms, dcos: map[Mode]core.DCO{}}
+	switch kind {
+	case HNSW:
+		idx, err := hnsw.Decode(pr)
+		if err != nil {
+			return nil, err
+		}
+		ix.hnswIdx = idx
+		ix.data = idx.Data()
+	case IVF:
+		idx, err := ivf.Decode(pr)
+		if err != nil {
+			return nil, err
+		}
+		ix.ivfIdx = idx
+		ix.data = pr.F32Mat()
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+	case Flat:
+		ix.data = pr.F32Mat()
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+		if len(ix.data) == 0 {
+			return nil, errors.New("resinfer: flat stream carries no vectors")
+		}
+		idx, err := flat.New(len(ix.data), len(ix.data[0]))
+		if err != nil {
+			return nil, err
+		}
+		ix.flatIdx = idx
+	default:
+		return nil, fmt.Errorf("resinfer: unknown index kind %q in stream", kind)
+	}
+	if len(ix.data) == 0 {
+		return nil, errors.New("resinfer: stream carries no vectors")
+	}
+	ix.dim = len(ix.data[0])
+	exact, err := core.NewExact(ix.data)
+	if err != nil {
+		return nil, err
+	}
+	ix.dcos[Exact] = exact
+
+	nModes := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if nModes < 0 || nModes > 16 {
+		return nil, errors.New("resinfer: corrupt mode count")
+	}
+	for i := 0; i < nModes; i++ {
+		m := Mode(pr.String())
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+		var dco core.DCO
+		switch m {
+		case ADSampling:
+			pr.Magic(adsMagic)
+			eps := pr.F64()
+			deltaD := pr.Int()
+			rot, derr := matrix.Decode(pr)
+			if derr != nil {
+				return nil, derr
+			}
+			rotated := pr.F32Mat()
+			if err := pr.Err(); err != nil {
+				return nil, err
+			}
+			dco, err = adsampling.NewWithRotation(rotated, rot, adsampling.Config{
+				Epsilon0: eps, DeltaD: deltaD,
+			})
+		case DDCRes:
+			dco, err = ddc.DecodeRes(pr)
+		case DDCPCA:
+			dco, err = ddc.DecodePCA(pr)
+		case DDCOPQ:
+			dco, err = ddc.DecodeOPQ(pr, ix.data)
+		default:
+			return nil, fmt.Errorf("resinfer: unknown mode %q in stream", m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if dco.Size() != len(ix.data) {
+			return nil, fmt.Errorf("resinfer: mode %s covers %d points, index has %d",
+				m, dco.Size(), len(ix.data))
+		}
+		ix.dcos[m] = dco
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ix.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads an index from a file written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,178 @@
+package resinfer
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// buildRichIndex constructs an HNSW index with all five modes enabled.
+func buildRichIndex(t testing.TB) (*Index, [][]float32) {
+	ds, _ := apiFixtures(t)
+	data := ds.Data[:1200]
+	ix, err := New(data, HNSW, &Options{Seed: 11, HNSWEfConstruction: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Enable(ADSampling, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Enable(DDCRes, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableWithTraining(DDCPCA, ds.Train[:30], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableWithTraining(DDCOPQ, ds.Train[:30], nil); err != nil {
+		t.Fatal(err)
+	}
+	return ix, data
+}
+
+// sameResults asserts two indexes return identical neighbors for a query
+// under every mode.
+func sameResults(t *testing.T, a, b *Index, q []float32) {
+	t.Helper()
+	for _, mode := range []Mode{Exact, ADSampling, DDCRes, DDCPCA, DDCOPQ} {
+		ra, err := a.Search(q, 10, mode, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		rb, err := b.Search(q, 10, mode, 40)
+		if err != nil {
+			t.Fatalf("%s (loaded): %v", mode, err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: result count %d vs %d", mode, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i].ID != rb[i].ID || ra[i].Distance != rb[i].Distance {
+				t.Fatalf("%s: result %d differs: %+v vs %+v", mode, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadHNSWRoundTrip(t *testing.T) {
+	ix, _ := buildRichIndex(t)
+	ds, _ := apiFixtures(t)
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind() != HNSW || loaded.Len() != ix.Len() || loaded.Dim() != ix.Dim() {
+		t.Fatal("loaded metadata mismatch")
+	}
+	if len(loaded.Modes()) != 5 {
+		t.Fatalf("loaded modes = %v", loaded.Modes())
+	}
+	for _, q := range ds.Queries[:5] {
+		sameResults(t, ix, loaded, q)
+	}
+}
+
+func TestSaveLoadIVFRoundTrip(t *testing.T) {
+	ds, _ := apiFixtures(t)
+	data := ds.Data[:1500]
+	ix, err := New(data, IVF, &Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Enable(DDCRes, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind() != IVF {
+		t.Fatal("kind")
+	}
+	for _, q := range ds.Queries[:5] {
+		for _, mode := range []Mode{Exact, DDCRes} {
+			ra, err := ix.Search(q, 10, mode, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := loaded.Search(q, 10, mode, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%s: results differ after IVF round trip", mode)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds, _ := apiFixtures(t)
+	ix, err := New(ds.Data[:500], HNSW, &Options{Seed: 17, HNSWEfConstruction: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.ri")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 500 {
+		t.Fatal("length mismatch after file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.ri")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	ds, _ := apiFixtures(t)
+	ix, err := New(ds.Data[:300], HNSW, &Options{Seed: 19, HNSWEfConstruction: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte("XXXXXXXXX"), good[9:]...)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncation at several points.
+	for _, cut := range []int{10, len(good) / 2, len(good) - 5} {
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("expected truncation error at %d", cut)
+		}
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	ix, _ := buildRichIndex(t)
+	var a, b bytes.Buffer
+	if err := ix.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Save must be deterministic for the same index")
+	}
+}

@@ -1,0 +1,366 @@
+// Package resinfer is a Go implementation of the distance-computation
+// framework of "Effective and General Distance Computation for Approximate
+// Nearest Neighbor Search" (ICDE 2025): AKNN indexes (HNSW, IVF) whose
+// refinement phase runs through pluggable distance comparison operators —
+// exact scan, ADSampling (the SIGMOD 2023 baseline), and the paper's
+// DDCres, DDCpca and DDCopq methods.
+//
+// Typical use:
+//
+//	idx, err := resinfer.New(data, resinfer.HNSW, nil)
+//	err = idx.Enable(resinfer.DDCRes, nil)           // train the comparator
+//	hits, err := idx.Search(q, 10, resinfer.DDCRes, 100)
+//
+// The learned comparators (DDCPCA, DDCOPQ) additionally need training
+// queries:
+//
+//	err = idx.EnableWithTraining(resinfer.DDCOPQ, trainQueries, nil)
+//
+// All distances are squared Euclidean; identifiers refer to row positions
+// in the data slice passed to New.
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"resinfer/internal/adsampling"
+	"resinfer/internal/core"
+	"resinfer/internal/ddc"
+	"resinfer/internal/flat"
+	"resinfer/internal/hnsw"
+	"resinfer/internal/ivf"
+)
+
+// Mode selects a distance computation method.
+type Mode string
+
+// Available distance computation methods.
+const (
+	// Exact computes every distance in full (the HNSW/IVF baselines).
+	Exact Mode = "exact"
+	// ADSampling is the random-projection baseline of Gao & Long
+	// (SIGMOD 2023).
+	ADSampling Mode = "adsampling"
+	// DDCRes is the paper's PCA-projection method with the m·σ Gaussian
+	// error bound (§IV, Algorithms 1–2).
+	DDCRes Mode = "ddc-res"
+	// DDCPCA is the paper's learned correction over plain PCA distances
+	// (§V-B); requires training queries.
+	DDCPCA Mode = "ddc-pca"
+	// DDCOPQ is the paper's learned correction over OPQ asymmetric
+	// distances (§V-B); requires training queries.
+	DDCOPQ Mode = "ddc-opq"
+)
+
+// IndexKind selects the AKNN index structure.
+type IndexKind string
+
+// Available index kinds.
+const (
+	// HNSW is the hierarchical navigable small world graph; the search
+	// budget parameter is the beam width ef.
+	HNSW IndexKind = "hnsw"
+	// IVF is the inverted-file index; the search budget parameter is
+	// nprobe, the number of clusters scanned.
+	IVF IndexKind = "ivf"
+	// Flat scans every point through the comparator (the linear-scan
+	// setting of the paper's Table III); the budget parameter is ignored.
+	Flat IndexKind = "flat"
+)
+
+// Options tunes index construction and comparator training. The zero value
+// (or nil) gives the defaults used in the paper's configuration.
+type Options struct {
+	// HNSWM is the graph degree (default 16).
+	HNSWM int
+	// HNSWEfConstruction is the construction beam width (default 200).
+	HNSWEfConstruction int
+	// IVFNList is the cluster count (default ≈√n).
+	IVFNList int
+	// ADSEpsilon0 is ADSampling's significance parameter (default 2.1).
+	ADSEpsilon0 float64
+	// ResMultiplier is DDCres's error-bound multiplier m (default 3).
+	ResMultiplier float64
+	// DeltaD is the incremental projection step shared by ADSampling and
+	// DDCres (default 32).
+	DeltaD int
+	// TargetRecall is the label-0 recall target of the learned methods
+	// (default 0.995).
+	TargetRecall float64
+	// OPQSubspaces is DDCopq's subspace count M (default dim/4, ≤64).
+	OPQSubspaces int
+	// Metric selects the similarity measure (default L2). Cosine and
+	// InnerProduct are reduced to Euclidean internally; see MetricKind.
+	Metric MetricKind
+	// Seed makes construction and training deterministic.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	return out
+}
+
+// Neighbor is one search hit.
+type Neighbor struct {
+	ID       int
+	Distance float32
+}
+
+// SearchStats reports the distance-computation work of one search call.
+type SearchStats struct {
+	// Comparisons is the number of threshold comparisons performed.
+	Comparisons int64
+	// Pruned is how many candidates were discarded from approximate
+	// distances alone.
+	Pruned int64
+	// ScanRate is the fraction of vector coordinates touched relative to
+	// an exact scan over the same comparisons.
+	ScanRate float64
+	// PrunedRate is Pruned / Comparisons.
+	PrunedRate float64
+}
+
+// Index is an AKNN index with swappable distance computation. All methods
+// are safe for concurrent use after construction; Enable* calls serialize
+// internally.
+type Index struct {
+	kind    IndexKind
+	data    [][]float32 // rows in the internal (metric-reduced) space
+	dim     int         // internal dimensionality
+	userDim int         // dimensionality callers present queries in
+	metric  *metricState
+	opts    Options
+
+	hnswIdx *hnsw.Index
+	ivfIdx  *ivf.Index
+	flatIdx *flat.Index
+
+	mu   sync.RWMutex
+	dcos map[Mode]core.DCO
+}
+
+// New builds an index of the given kind over data (rows of equal length,
+// row index = neighbor ID). The Exact mode is always available; other
+// modes are trained on demand via Enable / EnableWithTraining.
+func New(data [][]float32, kind IndexKind, opts *Options) (*Index, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("resinfer: empty data")
+	}
+	o := opts.withDefaults()
+	prepared, ms, err := prepareData(data, o.Metric)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		kind:    kind,
+		data:    prepared,
+		dim:     len(prepared[0]),
+		userDim: len(data[0]),
+		metric:  ms,
+		opts:    o,
+		dcos:    map[Mode]core.DCO{},
+	}
+	exact, err := core.NewExact(prepared)
+	if err != nil {
+		return nil, err
+	}
+	ix.dcos[Exact] = exact
+	switch kind {
+	case HNSW:
+		idx, err := hnsw.Build(prepared, hnsw.Config{
+			M:              o.HNSWM,
+			EfConstruction: o.HNSWEfConstruction,
+			Seed:           o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.hnswIdx = idx
+	case IVF:
+		idx, err := ivf.Build(prepared, ivf.Config{NList: o.IVFNList, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		ix.ivfIdx = idx
+	case Flat:
+		idx, err := flat.Build(prepared)
+		if err != nil {
+			return nil, err
+		}
+		ix.flatIdx = idx
+	default:
+		return nil, fmt.Errorf("resinfer: unknown index kind %q", kind)
+	}
+	return ix, nil
+}
+
+// Enable trains and installs a self-calibrating comparator (ADSampling or
+// DDCRes). For the learned methods use EnableWithTraining.
+func (ix *Index) Enable(mode Mode, opts *Options) error {
+	switch mode {
+	case Exact:
+		return nil
+	case ADSampling, DDCRes:
+		return ix.enable(mode, nil, opts)
+	case DDCPCA, DDCOPQ:
+		return fmt.Errorf("resinfer: mode %s needs training queries; use EnableWithTraining", mode)
+	}
+	return fmt.Errorf("resinfer: unknown mode %q", mode)
+}
+
+// EnableWithTraining trains and installs any comparator; trainQueries are
+// required for DDCPCA and DDCOPQ and ignored otherwise.
+func (ix *Index) EnableWithTraining(mode Mode, trainQueries [][]float32, opts *Options) error {
+	switch mode {
+	case Exact:
+		return nil
+	case ADSampling, DDCRes, DDCPCA, DDCOPQ:
+		return ix.enable(mode, trainQueries, opts)
+	}
+	return fmt.Errorf("resinfer: unknown mode %q", mode)
+}
+
+func (ix *Index) enable(mode Mode, trainQueries [][]float32, opts *Options) error {
+	o := ix.opts
+	if opts != nil {
+		o = opts.withDefaults()
+	}
+	ix.mu.RLock()
+	_, done := ix.dcos[mode]
+	ix.mu.RUnlock()
+	if done {
+		return nil
+	}
+	// Training queries live in the caller's space; move them into the
+	// internal (metric-reduced) space the comparators operate in.
+	if len(trainQueries) > 0 && ix.metric.kind != L2 {
+		transformed := make([][]float32, len(trainQueries))
+		for i, tq := range trainQueries {
+			tt, err := ix.metric.transformQuery(tq)
+			if err != nil {
+				return err
+			}
+			transformed[i] = tt
+		}
+		trainQueries = transformed
+	}
+	var dco core.DCO
+	var err error
+	switch mode {
+	case ADSampling:
+		dco, err = adsampling.New(ix.data, adsampling.Config{
+			Epsilon0: o.ADSEpsilon0, DeltaD: o.DeltaD, Seed: o.Seed,
+		})
+	case DDCRes:
+		dco, err = ddc.NewRes(ix.data, ddc.ResConfig{
+			Multiplier: o.ResMultiplier, InitD: o.DeltaD, DeltaD: o.DeltaD, Seed: o.Seed,
+		})
+	case DDCPCA:
+		if len(trainQueries) == 0 {
+			return errors.New("resinfer: DDCPCA needs training queries")
+		}
+		dco, err = ddc.NewPCA(ix.data, trainQueries, ddc.PCAConfig{
+			TargetRecall: o.TargetRecall, Seed: o.Seed,
+			Collect: ddc.CollectConfig{K: 100, NegPerQuery: 100},
+		})
+	case DDCOPQ:
+		if len(trainQueries) == 0 {
+			return errors.New("resinfer: DDCOPQ needs training queries")
+		}
+		dco, err = ddc.NewOPQ(ix.data, trainQueries, ddc.OPQConfig{
+			M: o.OPQSubspaces, TargetRecall: o.TargetRecall, Seed: o.Seed,
+			OPQSample: 8192,
+			Collect:   ddc.CollectConfig{K: 100, NegPerQuery: 100},
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("resinfer: enabling %s: %w", mode, err)
+	}
+	ix.mu.Lock()
+	ix.dcos[mode] = dco
+	ix.mu.Unlock()
+	return nil
+}
+
+// Enabled reports whether the mode's comparator is ready.
+func (ix *Index) Enabled(mode Mode) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.dcos[mode]
+	return ok
+}
+
+// Search returns the approximate k nearest neighbors of q using the given
+// mode. budget is the index's quality knob: beam width ef for HNSW, probe
+// count for IVF; values below k are clamped up.
+func (ix *Index) Search(q []float32, k int, mode Mode, budget int) ([]Neighbor, error) {
+	ns, _, err := ix.SearchWithStats(q, k, mode, budget)
+	return ns, err
+}
+
+// SearchWithStats is Search plus the distance-computation work counters.
+func (ix *Index) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	if len(q) != ix.userDim {
+		return nil, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), ix.userDim)
+	}
+	tq, err := ix.metric.transformQuery(q)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	q = tq
+	ix.mu.RLock()
+	dco, ok := ix.dcos[mode]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, SearchStats{}, fmt.Errorf("resinfer: mode %s not enabled", mode)
+	}
+	var items []hnsw.Result
+	var st core.Stats
+	switch ix.kind {
+	case HNSW:
+		items, st, err = ix.hnswIdx.Search(dco, q, k, budget)
+	case IVF:
+		items, st, err = ix.ivfIdx.Search(dco, q, k, budget)
+	case Flat:
+		items, st, err = ix.flatIdx.Search(dco, q, k)
+	}
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	}
+	return out, SearchStats{
+		Comparisons: st.Comparisons,
+		Pruned:      st.Pruned,
+		ScanRate:    st.ScanRate(ix.dim),
+		PrunedRate:  st.PrunedRate(),
+	}, nil
+}
+
+// Kind returns the index structure.
+func (ix *Index) Kind() IndexKind { return ix.kind }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Modes lists the currently enabled comparators.
+func (ix *Index) Modes() []Mode {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Mode, 0, len(ix.dcos))
+	for m := range ix.dcos {
+		out = append(out, m)
+	}
+	return out
+}
