@@ -2,6 +2,7 @@ package resinfer
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -13,20 +14,53 @@ type BatchResult struct {
 	Err       error
 }
 
-// SearchBatch runs Search for every query concurrently across up to
-// workers goroutines (default GOMAXPROCS). Results are positionally
-// aligned with queries; per-query failures are reported in the result
-// rather than aborting the batch.
-func (ix *Index) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+// validateBatch checks the shared parameters of a batch once up front so a
+// malformed batch fails fast with a single error instead of N goroutines
+// each failing identically. userDim is the dimensionality callers present
+// queries in.
+func validateBatch(queries [][]float32, k, budget, userDim int) error {
 	if len(queries) == 0 {
-		return nil, errors.New("resinfer: empty query batch")
+		return errors.New("resinfer: empty query batch")
 	}
+	if k <= 0 {
+		return fmt.Errorf("resinfer: batch k must be positive, got %d", k)
+	}
+	if budget < 0 {
+		return fmt.Errorf("resinfer: batch budget must be non-negative, got %d", budget)
+	}
+	for qi, q := range queries {
+		if len(q) != userDim {
+			return fmt.Errorf("resinfer: batch query %d has dim %d, index expects %d",
+				qi, len(q), userDim)
+		}
+	}
+	return nil
+}
+
+// clampWorkers resolves a worker-count request against the batch size:
+// non-positive means GOMAXPROCS, and there is no point running more
+// workers than queries.
+func clampWorkers(workers, nQueries int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > nQueries {
+		workers = nQueries
 	}
+	return workers
+}
+
+// SearchBatch runs Search for every query concurrently across up to
+// workers goroutines (default GOMAXPROCS). The batch parameters (k,
+// budget, query dimensions) are validated once up front; a malformed
+// batch returns an error before any search runs. Results are positionally
+// aligned with queries; per-query failures are reported in the result
+// rather than aborting the batch.
+func (ix *Index) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+	if err := validateBatch(queries, k, budget, ix.userDim); err != nil {
+		return nil, err
+	}
+	workers = clampWorkers(workers, len(queries))
 	out := make([]BatchResult, len(queries))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)

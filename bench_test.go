@@ -1,4 +1,8 @@
-package resinfer
+// Package resinfer_test is deliberately an external test package: it pulls
+// in internal/harness, which itself imports the root package (for the
+// serving benchmark), so an in-package test file would create an import
+// cycle.
+package resinfer_test
 
 // One testing.B benchmark per paper artifact (table/figure), each wrapping
 // the corresponding harness experiment. The harness caches datasets,

@@ -1,0 +1,194 @@
+// Command annserve builds (or loads) a resinfer index and serves it over
+// the HTTP JSON API of internal/server.
+//
+// Build a sharded index over a synthetic dataset and serve it:
+//
+//	annserve -n 20000 -dim 64 -kind hnsw -shards 4 -modes exact,ddc-res -addr :8080
+//
+// Serve a previously saved index (single or sharded — the file format is
+// auto-detected):
+//
+//	annserve -load index.bin -addr :8080
+//
+// Query it:
+//
+//	curl -s localhost:8080/search -d '{"query":[...],"k":10,"mode":"ddc-res","budget":100}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/dataset"
+	"resinfer/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		loadPath = flag.String("load", "", "load an index file (auto-detects single vs sharded) instead of building")
+		savePath = flag.String("save", "", "after building, save the index here")
+
+		kindFlag  = flag.String("kind", "hnsw", "index kind: hnsw | ivf | flat")
+		metric    = flag.String("metric", "l2", "metric: l2 | cosine | ip")
+		modesFlag = flag.String("modes", "exact,ddc-res", "comma-separated DCO modes to enable")
+		shards    = flag.Int("shards", 4, "shard count (1 = unsharded)")
+
+		n     = flag.Int("n", 20000, "synthetic dataset size (ignored with -load)")
+		dim   = flag.Int("dim", 64, "synthetic dataset dimensionality (ignored with -load)")
+		train = flag.Int("train", 500, "training queries generated for learned modes (ignored with -load)")
+		seed  = flag.Int64("seed", 42, "generation / construction seed")
+
+		k           = flag.Int("k", 10, "default k when a request omits it")
+		budget      = flag.Int("budget", 100, "default search budget when a request omits it")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batching window (negative disables)")
+		batchMax    = flag.Int("batch-max", 64, "micro-batch size cap")
+		maxConc     = flag.Int("max-concurrent", 0, "max concurrent batch executions (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "SearchBatch worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	idx, err := buildOrLoad(*loadPath, *savePath, *kindFlag, *metric, *modesFlag,
+		*shards, *n, *dim, *train, *seed)
+	if err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+
+	srv := server.New(idx, server.Config{
+		DefaultK:      *k,
+		DefaultBudget: *budget,
+		BatchWindow:   *batchWindow,
+		BatchMaxSize:  *batchMax,
+		MaxConcurrent: *maxConc,
+		SearchWorkers: *workers,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Serve(ctx, *addr, func(bound string) {
+		log.Printf("annserve: serving %d points (query dim %d, modes %v) on %s",
+			idx.Len(), idx.QueryDim(), idx.Modes(), bound)
+	})
+	if err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+}
+
+// buildOrLoad resolves the served index from flags: either a saved file
+// (format auto-detected from the magic) or a fresh build over a synthetic
+// dataset.
+func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
+	shards, n, dim, train int, seed int64) (server.Searcher, error) {
+
+	if loadPath != "" {
+		sharded, err := isShardedFile(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		if sharded {
+			log.Printf("annserve: loading sharded index from %s", loadPath)
+			return resinfer.LoadShardedFile(loadPath)
+		}
+		log.Printf("annserve: loading index from %s", loadPath)
+		return resinfer.LoadFile(loadPath)
+	}
+
+	modes, err := parseModes(modesFlag)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("annserve: generating synthetic dataset n=%d dim=%d", n, dim)
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Name: "annserve", N: n, Dim: dim, TrainQueries: train,
+		VE32: 0.6, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := &resinfer.Options{Metric: resinfer.MetricKind(metric), Seed: seed}
+	kind := resinfer.IndexKind(kindFlag)
+
+	start := time.Now()
+	if shards > 1 {
+		log.Printf("annserve: building %d %s shards", shards, kind)
+		sx, err := resinfer.NewSharded(ds.Data, kind, shards, &resinfer.ShardOptions{Index: opts})
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range modes {
+			log.Printf("annserve: enabling %s", m)
+			if err := sx.EnableWithTraining(m, ds.Train, opts); err != nil {
+				return nil, err
+			}
+		}
+		log.Printf("annserve: built in %.1fs", time.Since(start).Seconds())
+		if savePath != "" {
+			if err := sx.SaveFile(savePath); err != nil {
+				return nil, err
+			}
+			log.Printf("annserve: saved to %s", savePath)
+		}
+		return sx, nil
+	}
+
+	log.Printf("annserve: building unsharded %s index", kind)
+	ix, err := resinfer.New(ds.Data, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range modes {
+		log.Printf("annserve: enabling %s", m)
+		if err := ix.EnableWithTraining(m, ds.Train, opts); err != nil {
+			return nil, err
+		}
+	}
+	log.Printf("annserve: built in %.1fs", time.Since(start).Seconds())
+	if savePath != "" {
+		if err := ix.SaveFile(savePath); err != nil {
+			return nil, err
+		}
+		log.Printf("annserve: saved to %s", savePath)
+	}
+	return ix, nil
+}
+
+func parseModes(s string) ([]resinfer.Mode, error) {
+	var out []resinfer.Mode
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := resinfer.Mode(part)
+		switch m {
+		case resinfer.Exact, resinfer.ADSampling, resinfer.DDCRes, resinfer.DDCPCA, resinfer.DDCOPQ:
+			out = append(out, m)
+		default:
+			return nil, fmt.Errorf("unknown mode %q", part)
+		}
+	}
+	return out, nil
+}
+
+// isShardedFile peeks at the file magic to pick the right loader.
+func isShardedFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	magic := make([]byte, len("RESSHARD1"))
+	if _, err := f.Read(magic); err != nil {
+		return false, fmt.Errorf("reading magic of %s: %w", path, err)
+	}
+	return string(magic) == "RESSHARD1", nil
+}

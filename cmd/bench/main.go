@@ -27,6 +27,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		outPath = flag.String("out", "", "write results to this file instead of stdout")
 		scale   = flag.Float64("scale", 1.0, "shrink dataset profiles by this factor (0,1]")
+		serving = flag.String("serving", "", "run the sharded serving benchmark and write machine-readable JSON (QPS, p50/p99, recall) to this path, e.g. BENCH_serving.json")
 	)
 	flag.Parse()
 	harness.SetScale(*scale)
@@ -37,8 +38,17 @@ func main() {
 		}
 		return
 	}
+	if *serving != "" {
+		if err := harness.RunServing(os.Stdout, *serving); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if *expFlag == "" {
+			return
+		}
+	}
 	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list")
+		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list | -serving <out.json>")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,116 @@
+// Serving example: shard a dataset, serve it over HTTP on a loopback
+// port, and act as the client — single searches through the
+// micro-batching path, one batch search, then the server's own counters.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"resinfer"
+	"resinfer/internal/dataset"
+	"resinfer/internal/server"
+)
+
+func main() {
+	// 1. A small synthetic dataset and a 3-shard HNSW index with the
+	// paper's DDCres comparator enabled on every shard.
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Name: "serving-demo", N: 6000, Dim: 48, Queries: 8, VE32: 0.7, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sx, err := resinfer.NewSharded(ds.Data, resinfer.HNSW, 3,
+		&resinfer.ShardOptions{Index: &resinfer.Options{Seed: 7}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sx.Enable(resinfer.DDCRes, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Serve it on a loopback port.
+	srv := server.New(sx, server.Config{DefaultMode: resinfer.DDCRes, DefaultBudget: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go func() {
+		if err := srv.Serve(ctx, "127.0.0.1:0", func(addr string) { ready <- addr }); err != nil {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + <-ready
+	fmt.Println("serving on", base)
+
+	// 3. Single searches (these ride the micro-batching admission queue).
+	for qi, q := range ds.Queries[:3] {
+		var out struct {
+			Neighbors []struct {
+				ID       int     `json:"id"`
+				Distance float32 `json:"distance"`
+			} `json:"neighbors"`
+			Stats struct {
+				ScanRate float64 `json:"scan_rate"`
+			} `json:"stats"`
+		}
+		post(base+"/search", map[string]any{"query": q, "k": 5}, &out)
+		fmt.Printf("query %d: top-5 =", qi)
+		for _, n := range out.Neighbors {
+			fmt.Printf(" %d", n.ID)
+		}
+		fmt.Printf("  (scan rate %.3f)\n", out.Stats.ScanRate)
+	}
+
+	// 4. One batch request over every query at once.
+	var batch struct {
+		Results []struct {
+			Neighbors []struct {
+				ID int `json:"id"`
+			} `json:"neighbors"`
+		} `json:"results"`
+	}
+	post(base+"/search/batch", map[string]any{"queries": ds.Queries, "k": 5}, &batch)
+	fmt.Printf("batch: %d queries answered\n", len(batch.Results))
+
+	// 5. The server's own counters.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d requests, %d queries, %d comparisons, p50 %.2fms\n",
+		stats.Requests, stats.Queries, stats.Comparisons, stats.LatencyP50Ms)
+}
+
+func post(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

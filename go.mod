@@ -1,0 +1,3 @@
+module resinfer
+
+go 1.22

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/dataset"
+	"resinfer/internal/server"
+)
+
+// ServingEntry is the measurement for one DCO mode on the sharded
+// serving path: throughput and latency observed by concurrent HTTP
+// clients, plus the recall of the answers they received.
+type ServingEntry struct {
+	Mode       string  `json:"mode"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	RecallAt10 float64 `json:"recall_at_10"`
+}
+
+// ServingResult is the machine-readable document cmd/bench writes to
+// BENCH_serving.json so the serving-path perf trajectory is recorded
+// across PRs.
+type ServingResult struct {
+	Dataset string         `json:"dataset"`
+	N       int            `json:"n"`
+	Dim     int            `json:"dim"`
+	Kind    string         `json:"kind"`
+	Shards  int            `json:"shards"`
+	K       int            `json:"k"`
+	Budget  int            `json:"budget"`
+	Clients int            `json:"clients"`
+	Queries int            `json:"queries"`
+	Entries []ServingEntry `json:"entries"`
+}
+
+// RunServing benchmarks the sharded serving subsystem end to end: it
+// builds a sharded HNSW index over a synthetic dataset, serves it through
+// internal/server on a loopback port, drives it with concurrent HTTP
+// clients for each mode, and writes the JSON result to outPath (progress
+// and a summary table go to w).
+func RunServing(w io.Writer, outPath string) error {
+	const (
+		dim     = 64
+		shards  = 4
+		k       = 10
+		budget  = 100
+		clients = 8
+	)
+	n := scaled(16000, 2000)
+	nq := scaled(600, 100)
+	modes := []resinfer.Mode{resinfer.Exact, resinfer.DDCRes}
+
+	fmt.Fprintf(w, "serving bench: n=%d dim=%d shards=%d clients=%d queries=%d\n",
+		n, dim, shards, clients, nq)
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Name: "serving-bench", N: n, Dim: dim, Queries: nq, VE32: 0.65, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	gt, err := dataset.BruteForceKNN(ds.Data, ds.Queries, k, 0)
+	if err != nil {
+		return err
+	}
+	sx, err := resinfer.NewSharded(ds.Data, resinfer.HNSW, shards,
+		&resinfer.ShardOptions{Index: &resinfer.Options{Seed: 99}})
+	if err != nil {
+		return err
+	}
+	for _, m := range modes {
+		if err := sx.Enable(m, nil); err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ctx, "127.0.0.1:0", func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-serveErr:
+		return err
+	}
+
+	result := ServingResult{
+		Dataset: "serving-bench", N: n, Dim: dim, Kind: "hnsw",
+		Shards: shards, K: k, Budget: budget, Clients: clients, Queries: nq,
+	}
+	for _, mode := range modes {
+		entry, err := driveClients(base, ds.Queries, gt, string(mode), k, budget, clients)
+		if err != nil {
+			return err
+		}
+		result.Entries = append(result.Entries, entry)
+		fmt.Fprintf(w, "  %-8s  qps=%8.1f  p50=%6.2fms  p99=%6.2fms  recall@10=%.4f\n",
+			entry.Mode, entry.QPS, entry.P50Ms, entry.P99Ms, entry.RecallAt10)
+	}
+
+	raw, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+// driveClients fans queries across concurrent HTTP clients against the
+// /search endpoint and aggregates latency and recall.
+func driveClients(base string, queries [][]float32, gt [][]int, mode string, k, budget, clients int) (ServingEntry, error) {
+	type req struct {
+		Query  []float32 `json:"query"`
+		K      int       `json:"k"`
+		Mode   string    `json:"mode"`
+		Budget int       `json:"budget"`
+	}
+	type resp struct {
+		Neighbors []struct {
+			ID int `json:"id"`
+		} `json:"neighbors"`
+		Error string `json:"error"`
+	}
+
+	results := make([][]int, len(queries))
+	latencies := make([]time.Duration, len(queries))
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := c; qi < len(queries); qi += clients {
+				raw, err := json.Marshal(req{Query: queries[qi], K: k, Mode: mode, Budget: budget})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				t0 := time.Now()
+				hr, err := http.Post(base+"/search", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var out resp
+				err = json.NewDecoder(hr.Body).Decode(&out)
+				hr.Body.Close()
+				latencies[qi] = time.Since(t0)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if hr.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("query %d: status %d: %s", qi, hr.StatusCode, out.Error)
+					return
+				}
+				ids := make([]int, len(out.Neighbors))
+				for i, nb := range out.Neighbors {
+					ids[i] = nb.ID
+				}
+				results[qi] = ids
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServingEntry{}, err
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	quant := func(p float64) float64 {
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return float64(latencies[i].Microseconds()) / 1000.0
+	}
+	return ServingEntry{
+		Mode:       mode,
+		QPS:        float64(len(queries)) / elapsed.Seconds(),
+		P50Ms:      quant(0.50),
+		P99Ms:      quant(0.99),
+		MeanMs:     float64(sum.Microseconds()) / float64(len(latencies)) / 1000.0,
+		RecallAt10: dataset.Recall(results, gt, k),
+	}, nil
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"resinfer"
+)
+
+// ErrServerClosed is returned to queries still queued when the server
+// shuts down.
+var ErrServerClosed = errors.New("server: closed")
+
+// batchKey groups queued queries that can share one SearchBatch call:
+// only queries with identical search parameters are batched together.
+type batchKey struct {
+	k      int
+	mode   resinfer.Mode
+	budget int
+}
+
+// queryResult is the outcome delivered back to a waiting /search handler.
+type queryResult struct {
+	neighbors []resinfer.Neighbor
+	stats     resinfer.SearchStats
+	err       error
+}
+
+// pendingQuery is one admitted /search request waiting in the queue.
+type pendingQuery struct {
+	q    []float32
+	key  batchKey
+	resp chan queryResult // buffered, capacity 1
+}
+
+// batcher is the micro-batching admission queue: single-query requests
+// are collected for a short window (or until a size cap) and executed as
+// one SearchBatch per parameter group, amortizing scheduling overhead
+// under concurrent load while keeping tail latency bounded by the window.
+type batcher struct {
+	idx     Searcher
+	in      chan pendingQuery
+	window  time.Duration
+	maxSize int
+	workers int           // workers handed to SearchBatch
+	sem     chan struct{} // shared concurrency limiter
+	m       *metrics
+
+	done     chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+func newBatcher(idx Searcher, window time.Duration, maxSize, workers int, sem chan struct{}, m *metrics) *batcher {
+	b := &batcher{
+		idx:     idx,
+		in:      make(chan pendingQuery, 4*maxSize),
+		window:  window,
+		maxSize: maxSize,
+		workers: workers,
+		sem:     sem,
+		m:       m,
+		done:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// submit enqueues one query and waits for its result or ctx cancellation.
+func (b *batcher) submit(ctx context.Context, q []float32, key batchKey) queryResult {
+	pq := pendingQuery{q: q, key: key, resp: make(chan queryResult, 1)}
+	select {
+	case <-b.done:
+		// Checked first: b.in is buffered, so a bare select could win the
+		// send case after close() has already drained the queue, leaving
+		// the query unanswered.
+		return queryResult{err: ErrServerClosed}
+	default:
+	}
+	select {
+	case b.in <- pq:
+	case <-b.done:
+		return queryResult{err: ErrServerClosed}
+	case <-ctx.Done():
+		return queryResult{err: ctx.Err()}
+	}
+	select {
+	case r := <-pq.resp:
+		return r
+	case <-b.done:
+		// Shutdown while waiting: an in-flight batch may still answer
+		// within the drain grace period; otherwise fail fast instead of
+		// sitting out the request timeout.
+		select {
+		case r := <-pq.resp:
+			return r
+		case <-time.After(100 * time.Millisecond):
+			return queryResult{err: ErrServerClosed}
+		case <-ctx.Done():
+			return queryResult{err: ctx.Err()}
+		}
+	case <-ctx.Done():
+		// The executor will still write to the buffered channel; the
+		// result is simply dropped.
+		return queryResult{err: ctx.Err()}
+	}
+}
+
+// close stops the collector and fails queries still waiting in the queue.
+func (b *batcher) close() {
+	b.closeOne.Do(func() { close(b.done) })
+	b.wg.Wait()
+	// A submit racing with shutdown may have enqueued after run()'s own
+	// drain; sweep once more now that no batch will ever form.
+	b.drainQueue()
+}
+
+// run collects queries into batches: the first arrival opens a window,
+// and the batch executes when the window elapses or the size cap fills.
+// Execution happens on a separate goroutine so collection never stalls
+// behind a slow search.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		var first pendingQuery
+		select {
+		case first = <-b.in:
+		case <-b.done:
+			b.drainQueue()
+			return
+		}
+		batch := []pendingQuery{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxSize {
+			select {
+			case pq := <-b.in:
+				batch = append(batch, pq)
+			case <-timer.C:
+				break collect
+			case <-b.done:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.wg.Add(1)
+		go b.execute(batch)
+		select {
+		case <-b.done:
+			b.drainQueue()
+			return
+		default:
+		}
+	}
+}
+
+// drainQueue fails everything still queued at shutdown.
+func (b *batcher) drainQueue() {
+	for {
+		select {
+		case pq := <-b.in:
+			pq.resp <- queryResult{err: ErrServerClosed}
+		default:
+			return
+		}
+	}
+}
+
+// execute groups a collected batch by search parameters and runs one
+// SearchBatch per group under the shared concurrency limiter.
+func (b *batcher) execute(batch []pendingQuery) {
+	defer b.wg.Done()
+	b.sem <- struct{}{}
+	defer func() { <-b.sem }()
+
+	groups := map[batchKey][]int{}
+	for i, pq := range batch {
+		groups[pq.key] = append(groups[pq.key], i)
+	}
+	for key, members := range groups {
+		queries := make([][]float32, len(members))
+		for j, i := range members {
+			queries[j] = batch[i].q
+		}
+		results, err := b.idx.SearchBatch(queries, key.k, key.mode, key.budget, b.workers)
+		b.m.batches.Add(1)
+		b.m.batchedQueries.Add(int64(len(members)))
+		if err != nil {
+			for _, i := range members {
+				batch[i].resp <- queryResult{err: err}
+			}
+			continue
+		}
+		for j, i := range members {
+			r := results[j]
+			batch[i].resp <- queryResult{neighbors: r.Neighbors, stats: r.Stats, err: r.Err}
+		}
+	}
+}

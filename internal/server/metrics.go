@@ -1,0 +1,115 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// nLatencyBuckets covers latencies from <1µs up to >2^46µs in powers of
+// two, which is far beyond any plausible request duration.
+const nLatencyBuckets = 48
+
+// latencyHist is a lock-free log2-bucketed latency histogram: bucket i
+// holds requests whose latency in microseconds has bit-length i. Quantile
+// estimates are exact to within a factor of two, which is plenty for the
+// p50/p99 surfaced at /stats.
+type latencyHist struct {
+	buckets [nLatencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= nLatencyBuckets {
+		i = nLatencyBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// quantile returns the upper bound, in milliseconds, of the bucket
+// containing the p-th percentile observation (p in [0,1]).
+func (h *latencyHist) quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(p * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i := 0; i < nLatencyBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			upperUs := int64(1) << uint(i)
+			return float64(upperUs) / 1000.0
+		}
+	}
+	return 0
+}
+
+func (h *latencyHist) meanMs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n) / 1e6
+}
+
+// metrics is the server's atomic counter set; every field is updated
+// lock-free on the request path and snapshotted at /stats.
+type metrics struct {
+	start          time.Time
+	requests       atomic.Int64 // HTTP requests to /search and /search/batch
+	queries        atomic.Int64 // individual queries answered
+	errors         atomic.Int64 // requests or queries that failed
+	batches        atomic.Int64 // SearchBatch executions by the micro-batcher
+	batchedQueries atomic.Int64 // queries that went through the micro-batcher
+	comparisons    atomic.Int64 // DCO threshold comparisons (visited candidates)
+	pruned         atomic.Int64 // candidates discarded from approximate distances
+	latency        latencyHist  // whole-request latency
+}
+
+// StatsSnapshot is the JSON document served at GET /stats.
+type StatsSnapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	Batches        int64   `json:"batches"`
+	BatchedQueries int64   `json:"batched_queries"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	Comparisons    int64   `json:"comparisons"`
+	Pruned         int64   `json:"pruned"`
+	LatencyMeanMs  float64 `json:"latency_mean_ms"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+}
+
+func (m *metrics) snapshot() StatsSnapshot {
+	s := StatsSnapshot{
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Requests:       m.requests.Load(),
+		Queries:        m.queries.Load(),
+		Errors:         m.errors.Load(),
+		Batches:        m.batches.Load(),
+		BatchedQueries: m.batchedQueries.Load(),
+		Comparisons:    m.comparisons.Load(),
+		Pruned:         m.pruned.Load(),
+		LatencyMeanMs:  m.latency.meanMs(),
+		LatencyP50Ms:   m.latency.quantile(0.50),
+		LatencyP99Ms:   m.latency.quantile(0.99),
+	}
+	if s.Batches > 0 {
+		s.AvgBatchSize = float64(s.BatchedQueries) / float64(s.Batches)
+	}
+	return s
+}

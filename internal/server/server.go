@@ -1,0 +1,386 @@
+// Package server exposes a resinfer index (single or sharded) over an
+// HTTP JSON API:
+//
+//	POST /search        one query        {"query":[...],"k":10,"mode":"exact","budget":100}
+//	POST /search/batch  many queries     {"queries":[[...],...],"k":10,"mode":"exact","budget":100}
+//	GET  /stats         atomic request / latency / visited-count counters
+//	GET  /healthz       liveness plus index metadata
+//
+// Single-query requests pass through a micro-batching admission queue:
+// they are collected for a short window (or until a size cap) and run as
+// one SearchBatch, so concurrent callers share scheduling overhead. A
+// semaphore bounds how many batch executions run at once, and every
+// counter surfaced at /stats is updated atomically on the request path.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"resinfer"
+)
+
+// Searcher is the slice of the resinfer API the server needs; both
+// *resinfer.Index and *resinfer.ShardedIndex satisfy it.
+type Searcher interface {
+	SearchWithStats(q []float32, k int, mode resinfer.Mode, budget int) ([]resinfer.Neighbor, resinfer.SearchStats, error)
+	SearchBatch(queries [][]float32, k int, mode resinfer.Mode, budget, workers int) ([]resinfer.BatchResult, error)
+	Len() int
+	QueryDim() int
+	Modes() []resinfer.Mode
+}
+
+// Config tunes the server. The zero value serves with exact search,
+// k=10, a 2ms batching window, and GOMAXPROCS-wide concurrency.
+type Config struct {
+	// DefaultK is used when a request omits k (default 10).
+	DefaultK int
+	// DefaultBudget is used when a request omits budget (default 100).
+	DefaultBudget int
+	// DefaultMode is used when a request omits mode (default Exact).
+	DefaultMode resinfer.Mode
+	// MaxConcurrent bounds concurrently executing SearchBatch calls
+	// across both endpoints (default GOMAXPROCS). Up to
+	// MaxConcurrent×SearchWorkers search goroutines may exist at once;
+	// they multiplex over GOMAXPROCS threads, so this bounds queue depth
+	// and memory, not CPU.
+	MaxConcurrent int
+	// BatchWindow is how long the admission queue collects single
+	// queries before executing (default 2ms). Negative disables
+	// micro-batching: /search calls run directly.
+	BatchWindow time.Duration
+	// BatchMaxSize executes a collecting batch early once it holds this
+	// many queries (default 64).
+	BatchMaxSize int
+	// SearchWorkers is the worker count handed to SearchBatch
+	// (default GOMAXPROCS).
+	SearchWorkers int
+	// RequestTimeout caps how long one /search request may wait end to
+	// end (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 100
+	}
+	if c.DefaultMode == "" {
+		c.DefaultMode = resinfer.Exact
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 64
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves one index. Create with New, expose with Handler or
+// ListenAndServe, stop with Close.
+type Server struct {
+	idx     Searcher
+	cfg     Config
+	metrics metrics
+	batcher *batcher // nil when micro-batching is disabled
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// New wraps idx in a server. The caller must not mutate idx (e.g. call
+// Enable*) while the server is running.
+func New(idx Searcher, cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		idx: idx,
+		cfg: c,
+		sem: make(chan struct{}, c.MaxConcurrent),
+	}
+	s.metrics.start = time.Now()
+	if c.BatchWindow > 0 {
+		s.batcher = newBatcher(idx, c.BatchWindow, c.BatchMaxSize, c.SearchWorkers, s.sem, &s.metrics)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the micro-batcher, failing queries still queued.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.close()
+	}
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return s.Serve(ctx, addr, nil)
+}
+
+// neighborJSON is one hit on the wire.
+type neighborJSON struct {
+	ID       int     `json:"id"`
+	Distance float32 `json:"distance"`
+}
+
+// statsJSON mirrors resinfer.SearchStats on the wire.
+type statsJSON struct {
+	Comparisons int64   `json:"comparisons"`
+	Pruned      int64   `json:"pruned"`
+	ScanRate    float64 `json:"scan_rate"`
+	PrunedRate  float64 `json:"pruned_rate"`
+}
+
+type searchRequest struct {
+	Query  []float32 `json:"query"`
+	K      int       `json:"k"`
+	Mode   string    `json:"mode"`
+	Budget int       `json:"budget"`
+}
+
+type searchResponse struct {
+	Neighbors []neighborJSON `json:"neighbors"`
+	Stats     statsJSON      `json:"stats"`
+}
+
+type batchSearchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+	Mode    string      `json:"mode"`
+	Budget  int         `json:"budget"`
+}
+
+type batchEntryJSON struct {
+	Neighbors []neighborJSON `json:"neighbors"`
+	Stats     statsJSON      `json:"stats"`
+	Error     string         `json:"error,omitempty"`
+}
+
+type batchSearchResponse struct {
+	Results []batchEntryJSON `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func toNeighborsJSON(ns []resinfer.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(ns))
+	for i, n := range ns {
+		out[i] = neighborJSON{ID: n.ID, Distance: n.Distance}
+	}
+	return out
+}
+
+func toStatsJSON(st resinfer.SearchStats) statsJSON {
+	return statsJSON{
+		Comparisons: st.Comparisons,
+		Pruned:      st.Pruned,
+		ScanRate:    st.ScanRate,
+		PrunedRate:  st.PrunedRate,
+	}
+}
+
+// resolveParams fills defaults and normalizes one request's parameters.
+func (s *Server) resolveParams(k int, mode string, budget int) (batchKey, error) {
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	m := resinfer.Mode(mode)
+	if mode == "" {
+		m = s.cfg.DefaultMode
+	}
+	switch m {
+	case resinfer.Exact, resinfer.ADSampling, resinfer.DDCRes, resinfer.DDCPCA, resinfer.DDCOPQ:
+	default:
+		return batchKey{}, fmt.Errorf("unknown mode %q", mode)
+	}
+	return batchKey{k: k, mode: m, budget: budget}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Query) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	// Reject a wrong-dimension query before admission: once inside the
+	// micro-batcher it would fail SearchBatch's up-front validation and
+	// take every other query grouped with it down too.
+	if len(req.Query) != s.idx.QueryDim() {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("query dim %d, index expects %d", len(req.Query), s.idx.QueryDim()))
+		return
+	}
+	key, err := s.resolveParams(req.K, req.Mode, req.Budget)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var res queryResult
+	if s.batcher != nil {
+		res = s.batcher.submit(ctx, req.Query, key)
+	} else {
+		s.sem <- struct{}{}
+		ns, st, err := s.idx.SearchWithStats(req.Query, key.k, key.mode, key.budget)
+		<-s.sem
+		res = queryResult{neighbors: ns, stats: st, err: err}
+	}
+	if res.err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(res.err, ErrServerClosed) || errors.Is(res.err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		s.fail(w, status, res.err)
+		return
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.comparisons.Add(res.stats.Comparisons)
+	s.metrics.pruned.Add(res.stats.Pruned)
+	s.metrics.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, searchResponse{
+		Neighbors: toNeighborsJSON(res.neighbors),
+		Stats:     toStatsJSON(res.stats),
+	})
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	var req batchSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	key, err := s.resolveParams(req.K, req.Mode, req.Budget)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.sem <- struct{}{}
+	results, err := s.idx.SearchBatch(req.Queries, key.k, key.mode, key.budget, s.cfg.SearchWorkers)
+	<-s.sem
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	out := batchSearchResponse{Results: make([]batchEntryJSON, len(results))}
+	for i, res := range results {
+		entry := batchEntryJSON{
+			Neighbors: toNeighborsJSON(res.Neighbors),
+			Stats:     toStatsJSON(res.Stats),
+		}
+		if res.Err != nil {
+			entry.Error = res.Err.Error()
+			s.metrics.errors.Add(1)
+		} else {
+			s.metrics.queries.Add(1)
+			s.metrics.comparisons.Add(res.Stats.Comparisons)
+			s.metrics.pruned.Add(res.Stats.Pruned)
+		}
+		out.Results[i] = entry
+	}
+	s.metrics.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+type healthResponse struct {
+	Status string   `json:"status"`
+	Points int      `json:"points"`
+	Dim    int      `json:"dim"`
+	Modes  []string `json:"modes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	modes := []string{}
+	for _, m := range s.idx.Modes() {
+		modes = append(modes, string(m))
+	}
+	// Dim is the dimensionality clients must send queries in (the
+	// internal dimensionality can differ under metric reduction).
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Points: s.idx.Len(),
+		Dim:    s.idx.QueryDim(),
+		Modes:  modes,
+	})
+}
+
+// Serve builds a listener on addr and serves until ctx cancellation,
+// returning the bound address via the callback before blocking — used by
+// callers that pass port 0.
+func (s *Server) Serve(ctx context.Context, addr string, onReady func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shutCtx)
+		s.Close()
+		return err
+	}
+}

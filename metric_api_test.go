@@ -229,21 +229,27 @@ func TestSearchBatch(t *testing.T) {
 	}
 }
 
-func TestSearchBatchPerQueryError(t *testing.T) {
+func TestSearchBatchMalformedFailsFast(t *testing.T) {
 	ds, _ := apiFixtures(t)
 	ix, err := New(ds.Data[:200], HNSW, &Options{Seed: 23, HNSWEfConstruction: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A dimension mismatch anywhere in the batch is detected up front and
+	// fails the whole call with one error, before any search runs.
 	bad := [][]float32{ds.Queries[0], ds.Queries[1][:5]}
-	res, err := ix.SearchBatch(bad, 5, Exact, 20, 2)
+	if _, err := ix.SearchBatch(bad, 5, Exact, 20, 2); err == nil {
+		t.Fatal("expected up-front dim-mismatch error")
+	}
+	// Errors that are not statically detectable are still reported per
+	// query rather than aborting the batch.
+	res, err := ix.SearchBatch(ds.Queries[:2], 5, DDCRes, 20, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0].Err != nil {
-		t.Fatal("good query must succeed")
-	}
-	if res[1].Err == nil {
-		t.Fatal("bad query must carry its error")
+	for _, r := range res {
+		if r.Err == nil {
+			t.Fatal("mode not enabled must surface per query")
+		}
 	}
 }

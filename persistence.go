@@ -27,6 +27,16 @@ const (
 // comparator — so a later Load skips both construction and training.
 func (ix *Index) Save(w io.Writer) error {
 	pw := persist.NewWriter(w)
+	if err := ix.encode(pw); err != nil {
+		return err
+	}
+	return pw.Flush()
+}
+
+// encode writes the index onto an existing persist stream. It is the
+// codec-level half of Save, shared with the sharded container format,
+// which embeds one index stream per shard.
+func (ix *Index) encode(pw *persist.Writer) error {
 	pw.Magic(fileMagic)
 	pw.String(string(ix.kind))
 	pw.String(string(ix.metric.kind))
@@ -78,12 +88,18 @@ func (ix *Index) Save(w io.Writer) error {
 			return fmt.Errorf("resinfer: cannot serialize mode %s", m)
 		}
 	}
-	return pw.Flush()
+	return pw.Err()
 }
 
 // Load deserializes an index written by Save.
 func Load(r io.Reader) (*Index, error) {
-	pr := persist.NewReader(r)
+	return decodeIndex(persist.NewReader(r))
+}
+
+// decodeIndex reads one index stream from an existing persist reader. It
+// is the codec-level half of Load, shared with the sharded container
+// format.
+func decodeIndex(pr *persist.Reader) (*Index, error) {
 	pr.Magic(fileMagic)
 	kind := IndexKind(pr.String())
 	mk := MetricKind(pr.String())

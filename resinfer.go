@@ -126,9 +126,14 @@ type SearchStats struct {
 	PrunedRate float64
 }
 
-// Index is an AKNN index with swappable distance computation. All methods
-// are safe for concurrent use after construction; Enable* calls serialize
-// internally.
+// Index is an AKNN index with swappable distance computation.
+//
+// Concurrency: an Index is read-safe. Once New returns, and once any
+// Enable/EnableWithTraining call returns, any number of goroutines may
+// call Search, SearchWithStats and SearchBatch concurrently — searches
+// share the immutable index structure and each builds its own per-query
+// evaluator. Enable* calls serialize internally and may run concurrently
+// with searches; a mode becomes visible to searches atomically.
 type Index struct {
 	kind    IndexKind
 	data    [][]float32 // rows in the internal (metric-reduced) space
@@ -351,8 +356,13 @@ func (ix *Index) Kind() IndexKind { return ix.kind }
 // Len returns the number of indexed vectors.
 func (ix *Index) Len() int { return len(ix.data) }
 
-// Dim returns the vector dimensionality.
+// Dim returns the internal vector dimensionality (after any metric
+// reduction; InnerProduct augments rows with one coordinate).
 func (ix *Index) Dim() int { return ix.dim }
+
+// QueryDim returns the dimensionality callers must present queries in —
+// the dimensionality of the data passed to New, independent of metric.
+func (ix *Index) QueryDim() int { return ix.userDim }
 
 // Modes lists the currently enabled comparators.
 func (ix *Index) Modes() []Mode {

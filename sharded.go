@@ -1,0 +1,442 @@
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/persist"
+)
+
+// ShardStrategy selects how NewSharded assigns data rows to shards.
+type ShardStrategy string
+
+// Available shard assignment strategies.
+const (
+	// RoundRobin deals rows to shards in turn (row i → shard i mod N),
+	// giving every shard a statistically identical slice of the data. This
+	// is the default and the right choice when rows arrive in arbitrary
+	// order.
+	RoundRobin ShardStrategy = "round-robin"
+	// Contiguous cuts the data into N equal consecutive blocks, preserving
+	// any locality present in row order (e.g. time-ordered ingestion).
+	Contiguous ShardStrategy = "contiguous"
+)
+
+const shardMagic = "RESSHARD1"
+
+// ShardOptions tunes sharded construction and serving. The zero value (or
+// nil) gives round-robin assignment and GOMAXPROCS-wide fan-out.
+type ShardOptions struct {
+	// Strategy assigns rows to shards (default RoundRobin).
+	Strategy ShardStrategy
+	// SearchWorkers bounds how many shards one Search queries
+	// concurrently (default GOMAXPROCS).
+	SearchWorkers int
+	// Index configures each sub-index; see Options.
+	Index *Options
+}
+
+// ShardedIndex partitions a dataset across N sub-indexes and serves
+// queries by fanning out to every shard and k-way-merging the per-shard
+// results back into one globally-ranked answer. Each shard searches with
+// the full (k, budget), so for the Exact mode the merge is lossless: the
+// sharded result set equals the unsharded one. Like Index, a
+// ShardedIndex is read-safe — after NewSharded and any Enable* calls
+// return, any number of goroutines may search concurrently.
+type ShardedIndex struct {
+	kind     IndexKind
+	strategy ShardStrategy
+	metric   MetricKind
+	shards   []*Index
+	globalID [][]int // globalID[s][localID] = row in the original data
+	n        int
+	userDim  int
+	workers  int // shard fan-out width for single-query Search
+}
+
+// NewSharded builds nShards sub-indexes of the given kind over data
+// (partitioned per opts.Strategy) in parallel. Row index in data remains
+// the neighbor ID reported by searches, exactly as with New.
+func NewSharded(data [][]float32, kind IndexKind, nShards int, opts *ShardOptions) (*ShardedIndex, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, errors.New("resinfer: empty data")
+	}
+	if nShards <= 0 {
+		return nil, fmt.Errorf("resinfer: shard count must be positive, got %d", nShards)
+	}
+	if nShards > len(data) {
+		return nil, fmt.Errorf("resinfer: %d shards exceed %d data rows", nShards, len(data))
+	}
+	var o ShardOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Strategy == "" {
+		o.Strategy = RoundRobin
+	}
+	parts, ids, err := partitionRows(data, nShards, o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardedIndex{
+		kind:     kind,
+		strategy: o.Strategy,
+		shards:   make([]*Index, nShards),
+		globalID: ids,
+		n:        len(data),
+		userDim:  len(data[0]),
+		workers:  o.SearchWorkers,
+	}
+	if sx.workers <= 0 {
+		sx.workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, nShards)
+	var wg sync.WaitGroup
+	for s := range parts {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sx.shards[s], errs[s] = New(parts[s], kind, o.Index)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("resinfer: building shard %d: %w", s, err)
+		}
+	}
+	sx.metric = sx.shards[0].Metric()
+	return sx, nil
+}
+
+// partitionRows splits data into nShards parts and returns, per shard, the
+// rows and their global row indices.
+func partitionRows(data [][]float32, nShards int, strategy ShardStrategy) ([][][]float32, [][]int, error) {
+	parts := make([][][]float32, nShards)
+	ids := make([][]int, nShards)
+	switch strategy {
+	case RoundRobin:
+		per := (len(data) + nShards - 1) / nShards
+		for s := range parts {
+			parts[s] = make([][]float32, 0, per)
+			ids[s] = make([]int, 0, per)
+		}
+		for i, row := range data {
+			s := i % nShards
+			parts[s] = append(parts[s], row)
+			ids[s] = append(ids[s], i)
+		}
+	case Contiguous:
+		for s := range parts {
+			lo := s * len(data) / nShards
+			hi := (s + 1) * len(data) / nShards
+			parts[s] = data[lo:hi]
+			ids[s] = make([]int, hi-lo)
+			for i := range ids[s] {
+				ids[s][i] = lo + i
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("resinfer: unknown shard strategy %q", strategy)
+	}
+	return parts, ids, nil
+}
+
+// Enable trains and installs a self-calibrating comparator (ADSampling or
+// DDCRes) on every shard, in parallel.
+func (sx *ShardedIndex) Enable(mode Mode, opts *Options) error {
+	return sx.enableAll(mode, nil, opts, false)
+}
+
+// EnableWithTraining trains and installs any comparator on every shard in
+// parallel; trainQueries are required for DDCPCA and DDCOPQ and ignored
+// otherwise. Every shard trains against the full training-query set (the
+// queries are workload samples, not data, so they are not partitioned).
+func (sx *ShardedIndex) EnableWithTraining(mode Mode, trainQueries [][]float32, opts *Options) error {
+	return sx.enableAll(mode, trainQueries, opts, true)
+}
+
+func (sx *ShardedIndex) enableAll(mode Mode, trainQueries [][]float32, opts *Options, withTraining bool) error {
+	errs := make([]error, len(sx.shards))
+	var wg sync.WaitGroup
+	for s := range sx.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if withTraining {
+				errs[s] = sx.shards[s].EnableWithTraining(mode, trainQueries, opts)
+			} else {
+				errs[s] = sx.shards[s].Enable(mode, opts)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("resinfer: enabling %s on shard %d: %w", mode, s, err)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the mode's comparator is ready on every shard.
+func (sx *ShardedIndex) Enabled(mode Mode) bool {
+	for _, sh := range sx.shards {
+		if !sh.Enabled(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Search returns the approximate k nearest neighbors of q, fanning the
+// query out to every shard and merging. budget applies per shard (beam
+// width ef for HNSW, probe count for IVF).
+func (sx *ShardedIndex) Search(q []float32, k int, mode Mode, budget int) ([]Neighbor, error) {
+	ns, _, err := sx.SearchWithStats(q, k, mode, budget)
+	return ns, err
+}
+
+// SearchWithStats is Search plus the distance-computation work counters
+// aggregated across shards: Comparisons and Pruned are summed, ScanRate is
+// the comparison-weighted average.
+func (sx *ShardedIndex) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	return sx.searchFan(q, k, mode, budget, sx.workers)
+}
+
+// shardOut is one shard's contribution before the merge.
+type shardOut struct {
+	ns  []Neighbor
+	st  SearchStats
+	err error
+}
+
+// searchFan queries up to workers shards concurrently, then merges.
+func (sx *ShardedIndex) searchFan(q []float32, k int, mode Mode, budget, workers int) ([]Neighbor, SearchStats, error) {
+	if len(q) != sx.userDim {
+		return nil, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
+	}
+	outs := make([]shardOut, len(sx.shards))
+	if workers <= 1 || len(sx.shards) == 1 {
+		for s, sh := range sx.shards {
+			outs[s].ns, outs[s].st, outs[s].err = sh.SearchWithStats(q, k, mode, budget)
+		}
+	} else {
+		if workers > len(sx.shards) {
+			workers = len(sx.shards)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for s := range sx.shards {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(s int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchWithStats(q, k, mode, budget)
+			}(s)
+		}
+		wg.Wait()
+	}
+	return sx.merge(q, k, outs)
+}
+
+// merge k-way-merges per-shard results through the bounded result queue,
+// translating shard-local IDs to global ones. Shards rank by internal
+// squared distance, which is cross-shard comparable for L2 and Cosine; an
+// InnerProduct index augments vectors with a per-shard constant, so there
+// the merge ranks by the recovered native score instead (see Score).
+func (sx *ShardedIndex) merge(q []float32, k int, outs []shardOut) ([]Neighbor, SearchStats, error) {
+	var agg SearchStats
+	var scanWeighted float64
+	rq := heap.NewResultQueue(k)
+	for s := range outs {
+		if outs[s].err != nil {
+			return nil, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, outs[s].err)
+		}
+		st := outs[s].st
+		agg.Comparisons += st.Comparisons
+		agg.Pruned += st.Pruned
+		scanWeighted += st.ScanRate * float64(st.Comparisons)
+		for _, n := range outs[s].ns {
+			key := n.Distance
+			if sx.metric == InnerProduct {
+				key = -sx.shards[s].Score(n, q)
+			}
+			if key < rq.Threshold() {
+				rq.Push(sx.globalID[s][n.ID], key)
+			}
+		}
+	}
+	if agg.Comparisons > 0 {
+		agg.ScanRate = scanWeighted / float64(agg.Comparisons)
+		agg.PrunedRate = float64(agg.Pruned) / float64(agg.Comparisons)
+	}
+	items := rq.Sorted()
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	}
+	return out, agg, nil
+}
+
+// SearchBatch runs Search for every query concurrently across up to
+// workers goroutines (default GOMAXPROCS). Parallelism is spent across
+// queries; within one query the shards are scanned sequentially, so total
+// concurrency stays bounded by workers. Batch parameters are validated
+// once up front. Results are positionally aligned with queries;
+// per-query failures are reported in the result rather than aborting the
+// batch.
+func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+	if err := validateBatch(queries, k, budget, sx.userDim); err != nil {
+		return nil, err
+	}
+	workers = clampWorkers(workers, len(queries))
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for qi := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ns, st, err := sx.searchFan(queries[qi], k, mode, budget, 1)
+			out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
+		}(qi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Score converts a Neighbor returned by this sharded index into the
+// metric's native score, mirroring Index.Score. For InnerProduct the
+// merge already ranks by native score, so Distance holds the negated
+// inner product and Score simply flips the sign.
+func (sx *ShardedIndex) Score(n Neighbor, q []float32) float32 {
+	if sx.metric == InnerProduct {
+		return -n.Distance
+	}
+	return sx.shards[0].Score(n, q)
+}
+
+// Kind returns the shards' index structure.
+func (sx *ShardedIndex) Kind() IndexKind { return sx.kind }
+
+// Strategy returns the shard assignment strategy.
+func (sx *ShardedIndex) Strategy() ShardStrategy { return sx.strategy }
+
+// Metric returns the index's similarity measure.
+func (sx *ShardedIndex) Metric() MetricKind { return sx.metric }
+
+// Len returns the total number of indexed vectors across shards.
+func (sx *ShardedIndex) Len() int { return sx.n }
+
+// Dim returns the internal vector dimensionality (shards agree).
+func (sx *ShardedIndex) Dim() int { return sx.shards[0].Dim() }
+
+// QueryDim returns the dimensionality callers must present queries in.
+func (sx *ShardedIndex) QueryDim() int { return sx.userDim }
+
+// NumShards returns the shard count.
+func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
+
+// Modes lists the comparators enabled on every shard.
+func (sx *ShardedIndex) Modes() []Mode {
+	out := []Mode{}
+	for _, m := range sx.shards[0].Modes() {
+		if sx.Enabled(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Save serializes the sharded index — strategy, global ID mapping, and
+// every shard with its enabled comparators — as one stream: a container
+// header followed by each shard in the single-index format.
+func (sx *ShardedIndex) Save(w io.Writer) error {
+	pw := persist.NewWriter(w)
+	pw.Magic(shardMagic)
+	pw.String(string(sx.strategy))
+	pw.Int(len(sx.shards))
+	pw.Int(sx.n)
+	pw.Int(sx.userDim)
+	for s := range sx.shards {
+		pw.Ints(sx.globalID[s])
+		if err := sx.shards[s].encode(pw); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}
+
+// LoadSharded deserializes a sharded index written by Save.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) {
+	pr := persist.NewReader(r)
+	pr.Magic(shardMagic)
+	strategy := ShardStrategy(pr.String())
+	nShards := pr.Int()
+	n := pr.Int()
+	userDim := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if nShards <= 0 || nShards > n {
+		return nil, fmt.Errorf("resinfer: corrupt shard count %d (n=%d)", nShards, n)
+	}
+	sx := &ShardedIndex{
+		strategy: strategy,
+		shards:   make([]*Index, nShards),
+		globalID: make([][]int, nShards),
+		n:        n,
+		userDim:  userDim,
+		workers:  runtime.GOMAXPROCS(0),
+	}
+	for s := 0; s < nShards; s++ {
+		sx.globalID[s] = pr.Ints()
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+		sh, err := decodeIndex(pr)
+		if err != nil {
+			return nil, fmt.Errorf("resinfer: decoding shard %d: %w", s, err)
+		}
+		if len(sx.globalID[s]) != sh.Len() {
+			return nil, fmt.Errorf("resinfer: shard %d has %d rows but %d global IDs",
+				s, sh.Len(), len(sx.globalID[s]))
+		}
+		sx.shards[s] = sh
+	}
+	sx.kind = sx.shards[0].Kind()
+	sx.metric = sx.shards[0].Metric()
+	return sx, nil
+}
+
+// SaveFile writes the sharded index to a file.
+func (sx *ShardedIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sx.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadShardedFile reads a sharded index from a file written by SaveFile.
+func LoadShardedFile(path string) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSharded(f)
+}
