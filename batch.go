@@ -51,11 +51,14 @@ func clampWorkers(workers, nQueries int) int {
 }
 
 // SearchBatch runs Search for every query concurrently across up to
-// workers goroutines (default GOMAXPROCS). The batch parameters (k,
-// budget, query dimensions) are validated once up front; a malformed
-// batch returns an error before any search runs. Results are positionally
-// aligned with queries; per-query failures are reported in the result
-// rather than aborting the batch.
+// workers goroutines (default GOMAXPROCS). Each worker checks out ONE
+// pooled evaluator session and reuses it (evaluator scratch, rotated-query
+// and metric-transform buffers) for every query it processes — the batch
+// costs workers evaluator activations, not len(queries). The batch
+// parameters (k, budget, query dimensions) are validated once up front; a
+// malformed batch returns an error before any search runs. Results are
+// positionally aligned with queries; per-query failures are reported in
+// the result rather than aborting the batch.
 func (ix *Index) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
 	if err := validateBatch(queries, k, budget, ix.userDim); err != nil {
 		return nil, err
@@ -63,17 +66,31 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, mode Mode, budget, work
 	workers = clampWorkers(workers, len(queries))
 	out := make([]BatchResult, len(queries))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for qi := range queries {
+	idxCh := make(chan int, workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			ns, st, err := ix.SearchWithStats(queries[qi], k, mode, budget)
-			out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
-		}(qi)
+			s, pool, err := ix.acquire(mode)
+			if err != nil {
+				// Mode not enabled: report on every query this worker
+				// would have handled.
+				for qi := range idxCh {
+					out[qi] = BatchResult{Err: err}
+				}
+				return
+			}
+			defer pool.Put(s)
+			for qi := range idxCh {
+				ns, st, err := ix.searchSession(s, nil, queries[qi], k, budget)
+				out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
+			}
+		}()
 	}
+	for qi := range queries {
+		idxCh <- qi
+	}
+	close(idxCh)
 	wg.Wait()
 	return out, nil
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -179,16 +180,19 @@ func parseModes(s string) ([]resinfer.Mode, error) {
 	return out, nil
 }
 
-// isShardedFile peeks at the file magic to pick the right loader.
+// isShardedFile peeks at the file magic to pick the right loader. The
+// version digit is ignored so the check survives format bumps; the loader
+// itself rejects versions it cannot read.
 func isShardedFile(path string) (bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return false, err
 	}
 	defer f.Close()
-	magic := make([]byte, len("RESSHARD1"))
-	if _, err := f.Read(magic); err != nil {
+	const prefix = "RESSHARD"
+	magic := make([]byte, len(prefix))
+	if _, err := io.ReadFull(f, magic); err != nil {
 		return false, fmt.Errorf("reading magic of %s: %w", path, err)
 	}
-	return string(magic) == "RESSHARD1", nil
+	return string(magic) == prefix, nil
 }

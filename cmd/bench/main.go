@@ -28,6 +28,7 @@ func main() {
 		outPath = flag.String("out", "", "write results to this file instead of stdout")
 		scale   = flag.Float64("scale", 1.0, "shrink dataset profiles by this factor (0,1]")
 		serving = flag.String("serving", "", "run the sharded serving benchmark and write machine-readable JSON (QPS, p50/p99, recall) to this path, e.g. BENCH_serving.json")
+		kernels = flag.String("kernels", "", "run the kernel/layout/pooling benchmarks and write machine-readable JSON (ns/op, allocs/op, QPS before/after) to this path, e.g. BENCH_kernels.json")
 	)
 	flag.Parse()
 	harness.SetScale(*scale)
@@ -37,6 +38,15 @@ func main() {
 			fmt.Printf("%-6s  %-14s  %s\n", e.ID, e.PaperRef, e.Title)
 		}
 		return
+	}
+	if *kernels != "" {
+		if err := harness.RunKernels(os.Stdout, *kernels); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if *expFlag == "" && *serving == "" {
+			return
+		}
 	}
 	if *serving != "" {
 		if err := harness.RunServing(os.Stdout, *serving); err != nil {
@@ -48,7 +58,7 @@ func main() {
 		}
 	}
 	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list | -serving <out.json>")
+		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list | -serving <out.json> | -kernels <out.json>")
 		os.Exit(2)
 	}
 

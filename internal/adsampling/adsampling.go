@@ -20,6 +20,7 @@ import (
 
 	"resinfer/internal/core"
 	"resinfer/internal/matrix"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -35,7 +36,7 @@ type Config struct {
 
 // DCO is the ADSampling comparator.
 type DCO struct {
-	rotated  [][]float32
+	rotated  *store.Matrix
 	rotation *matrix.Matrix
 	dim      int
 	eps0     float64
@@ -46,13 +47,7 @@ type DCO struct {
 	factors []float32
 }
 
-// New builds the DCO by rotating data with a fresh random orthogonal
-// matrix.
-func New(data [][]float32, cfg Config) (*DCO, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
-		return nil, errors.New("adsampling: empty data")
-	}
-	dim := len(data[0])
+func (cfg *Config) withDefaults(dim int) {
 	if cfg.Epsilon0 <= 0 {
 		cfg.Epsilon0 = 2.1
 	}
@@ -62,53 +57,46 @@ func New(data [][]float32, cfg Config) (*DCO, error) {
 	if cfg.DeltaD > dim {
 		cfg.DeltaD = dim
 	}
+}
+
+// New builds the DCO by rotating data with a fresh random orthogonal
+// matrix.
+func New(data *store.Matrix, cfg Config) (*DCO, error) {
+	if data == nil || data.Rows() == 0 {
+		return nil, errors.New("adsampling: empty data")
+	}
+	dim := data.Dim()
+	cfg.withDefaults(dim)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rot := matrix.RandomOrthogonal(dim, rng)
-	rotated := make([][]float32, len(data))
-	for i, row := range data {
-		if len(row) != dim {
-			return nil, errors.New("adsampling: ragged data")
-		}
-		y, err := rot.ApplyF32(row)
-		if err != nil {
+	rotated, err := store.New(data.Rows(), dim)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < data.Rows(); i++ {
+		if err := rot.ApplyF32Into(rotated.Row(i), data.Row(i)); err != nil {
 			return nil, err
 		}
-		rotated[i] = y
 	}
-	d := &DCO{
-		rotated:  rotated,
-		rotation: rot,
-		dim:      dim,
-		eps0:     cfg.Epsilon0,
-		deltaD:   cfg.DeltaD,
-		factors:  make([]float32, dim+1),
-	}
-	for k := 1; k <= dim; k++ {
-		mult := 1 + cfg.Epsilon0/math.Sqrt(float64(k))
-		d.factors[k] = float32(mult * mult * float64(k) / float64(dim))
-	}
-	return d, nil
+	return newDCO(rotated, rot, cfg), nil
 }
 
 // NewWithRotation builds the DCO reusing pre-rotated data and its rotation
 // matrix (used by tests and by index serialization).
-func NewWithRotation(rotated [][]float32, rot *matrix.Matrix, cfg Config) (*DCO, error) {
-	if len(rotated) == 0 || len(rotated[0]) == 0 {
+func NewWithRotation(rotated *store.Matrix, rot *matrix.Matrix, cfg Config) (*DCO, error) {
+	if rotated == nil || rotated.Rows() == 0 {
 		return nil, errors.New("adsampling: empty data")
 	}
-	dim := len(rotated[0])
+	dim := rotated.Dim()
 	if rot.Rows != dim || rot.Cols != dim {
 		return nil, errors.New("adsampling: rotation shape mismatch")
 	}
-	if cfg.Epsilon0 <= 0 {
-		cfg.Epsilon0 = 2.1
-	}
-	if cfg.DeltaD <= 0 {
-		cfg.DeltaD = 32
-	}
-	if cfg.DeltaD > dim {
-		cfg.DeltaD = dim
-	}
+	cfg.withDefaults(dim)
+	return newDCO(rotated, rot, cfg), nil
+}
+
+func newDCO(rotated *store.Matrix, rot *matrix.Matrix, cfg Config) *DCO {
+	dim := rotated.Dim()
 	d := &DCO{
 		rotated:  rotated,
 		rotation: rot,
@@ -121,14 +109,14 @@ func NewWithRotation(rotated [][]float32, rot *matrix.Matrix, cfg Config) (*DCO,
 		mult := 1 + cfg.Epsilon0/math.Sqrt(float64(k))
 		d.factors[k] = float32(mult * mult * float64(k) / float64(dim))
 	}
-	return d, nil
+	return d
 }
 
 // Name implements core.DCO.
 func (d *DCO) Name() string { return "adsampling" }
 
 // Size implements core.DCO.
-func (d *DCO) Size() int { return len(d.rotated) }
+func (d *DCO) Size() int { return d.rotated.Rows() }
 
 // Dim implements core.DCO.
 func (d *DCO) Dim() int { return d.dim }
@@ -140,42 +128,65 @@ func (d *DCO) ExtraBytes() int64 { return int64(d.dim) * int64(d.dim) * 8 }
 // Rotation exposes the rotation matrix for serialization.
 func (d *DCO) Rotation() *matrix.Matrix { return d.rotation }
 
+// Epsilon0 returns the effective significance parameter (defaults
+// applied), so serialization records what the comparator actually uses.
+func (d *DCO) Epsilon0() float64 { return d.eps0 }
+
+// DeltaD returns the effective dimension increment per test round.
+func (d *DCO) DeltaD() int { return d.deltaD }
+
 // Rotated exposes the rotated vectors (read-only by convention); used by
 // the approximation-accuracy experiment (Table III).
-func (d *DCO) Rotated() [][]float32 { return d.rotated }
+func (d *DCO) Rotated() *store.Matrix { return d.rotated }
 
 // NewQuery implements core.DCO.
 func (d *DCO) NewQuery(q []float32) (core.QueryEvaluator, error) {
-	if len(q) != d.dim {
-		return nil, errors.New("adsampling: query dimension mismatch")
-	}
-	rq, err := d.rotation.ApplyF32(q)
-	if err != nil {
+	ev := d.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
 		return nil, err
 	}
-	return &evaluator{parent: d, q: rq}, nil
+	return ev, nil
+}
+
+// NewEvaluator implements core.PooledDCO: the returned evaluator owns a
+// reusable rotated-query buffer.
+func (d *DCO) NewEvaluator() core.ResettableEvaluator {
+	return &evaluator{parent: d, flat: d.rotated.Flat(), q: make([]float32, d.dim)}
 }
 
 type evaluator struct {
 	parent *DCO
-	q      []float32
+	flat   []float32 // rotated vectors, row-major
+	q      []float32 // rotated query (owned scratch)
 	stats  core.Stats
+}
+
+// Reset rotates q into the evaluator's scratch and zeroes the counters.
+func (ev *evaluator) Reset(q []float32) error {
+	if len(q) != ev.parent.dim {
+		return errors.New("adsampling: query dimension mismatch")
+	}
+	if err := ev.parent.rotation.ApplyF32Into(ev.q, q); err != nil {
+		return err
+	}
+	ev.stats = core.Stats{}
+	return nil
 }
 
 func (ev *evaluator) Distance(id int) float32 {
 	ev.stats.ExactDistances++
 	ev.stats.DimsScanned += int64(ev.parent.dim)
-	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+	return vec.L2SqFlat(ev.q, ev.flat, id*ev.parent.dim)
 }
 
 func (ev *evaluator) Compare(id int, tau float32) (float32, bool) {
 	ev.stats.Comparisons++
 	p := ev.parent
-	x := p.rotated[id]
+	base := id * p.dim
 	if math.IsInf(float64(tau), 1) {
 		ev.stats.ExactDistances++
 		ev.stats.DimsScanned += int64(p.dim)
-		return vec.L2Sq(ev.q, x), false
+		return vec.L2SqFlat(ev.q, ev.flat, base), false
 	}
 	var partial float32
 	d := 0
@@ -184,7 +195,7 @@ func (ev *evaluator) Compare(id int, tau float32) (float32, bool) {
 		if next > p.dim {
 			next = p.dim
 		}
-		partial += vec.L2SqRange(ev.q, x, d, next)
+		partial += vec.L2SqRangeFlat(ev.q, ev.flat, base, d, next)
 		ev.stats.DimsScanned += int64(next - d)
 		d = next
 		if d < p.dim && partial > tau*p.factors[d] {

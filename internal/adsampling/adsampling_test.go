@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -25,7 +26,7 @@ func TestNewErrors(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if _, err := New([][]float32{{1, 2}, {3}}, Config{}); err == nil {
+	if _, err := store.FromRows([][]float32{{1, 2}, {3}}); err == nil {
 		t.Fatal("expected ragged error")
 	}
 }
@@ -35,7 +36,7 @@ func TestExactDistancePreserved(t *testing.T) {
 	// distance within float tolerance.
 	r := rand.New(rand.NewSource(1))
 	data := gauss(r, 100, 48)
-	dco, err := New(data, Config{Seed: 7})
+	dco, err := New(store.MustFromRows(data), Config{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestExactDistancePreserved(t *testing.T) {
 func TestCompareInfTauIsExact(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	data := gauss(r, 30, 16)
-	dco, _ := New(data, Config{Seed: 3, DeltaD: 4})
+	dco, _ := New(store.MustFromRows(data), Config{Seed: 3, DeltaD: 4})
 	ev, _ := dco.NewQuery(data[0])
 	d, pruned := ev.Compare(5, float32(math.Inf(1)))
 	if pruned {
@@ -73,7 +74,7 @@ func TestCompareInfTauIsExact(t *testing.T) {
 func TestCompareSoundness(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	data := gauss(r, 400, 64)
-	dco, err := New(data, Config{Seed: 5, DeltaD: 8, Epsilon0: 2.1})
+	dco, err := New(store.MustFromRows(data), Config{Seed: 5, DeltaD: 8, Epsilon0: 2.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCompareSoundness(t *testing.T) {
 func TestPruningSavesDimensions(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	data := gauss(r, 300, 128)
-	dco, _ := New(data, Config{Seed: 9, DeltaD: 16})
+	dco, _ := New(store.MustFromRows(data), Config{Seed: 9, DeltaD: 16})
 	q := gauss(r, 1, 128)[0]
 	ev, _ := dco.NewQuery(q)
 	// Tiny tau forces pruning almost immediately for every point.
@@ -126,7 +127,7 @@ func TestPruningSavesDimensions(t *testing.T) {
 func TestNoPruneScanEqualsFull(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	data := gauss(r, 50, 32)
-	dco, _ := New(data, Config{Seed: 2, DeltaD: 8})
+	dco, _ := New(store.MustFromRows(data), Config{Seed: 2, DeltaD: 8})
 	q := gauss(r, 1, 32)[0]
 	ev, _ := dco.NewQuery(q)
 	// Huge tau: nothing prunes, everything scans fully.
@@ -147,7 +148,7 @@ func TestNoPruneScanEqualsFull(t *testing.T) {
 func TestFactorsShape(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	data := gauss(r, 10, 40)
-	dco, _ := New(data, Config{Seed: 1})
+	dco, _ := New(store.MustFromRows(data), Config{Seed: 1})
 	f := func(ku uint8) bool {
 		k := 1 + int(ku)%39
 		if dco.factors[k] >= dco.factors[k+1] {
@@ -162,7 +163,7 @@ func TestFactorsShape(t *testing.T) {
 
 func TestQueryDimMismatch(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
-	dco, _ := New(gauss(r, 10, 8), Config{})
+	dco, _ := New(store.MustFromRows(gauss(r, 10, 8)), Config{})
 	if _, err := dco.NewQuery(make([]float32, 4)); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -170,7 +171,7 @@ func TestQueryDimMismatch(t *testing.T) {
 
 func TestExtraBytes(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
-	dco, _ := New(gauss(r, 10, 16), Config{})
+	dco, _ := New(store.MustFromRows(gauss(r, 10, 16)), Config{})
 	if dco.ExtraBytes() != 16*16*8 {
 		t.Fatalf("ExtraBytes = %d", dco.ExtraBytes())
 	}
@@ -179,7 +180,7 @@ func TestExtraBytes(t *testing.T) {
 func TestNewWithRotationValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	data := gauss(r, 10, 8)
-	dco, _ := New(data, Config{Seed: 4})
+	dco, _ := New(store.MustFromRows(data), Config{Seed: 4})
 	re, err := NewWithRotation(dco.rotated, dco.Rotation(), Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/store"
+	"resinfer/internal/vec"
+)
+
+// The Compare-loop benchmarks quantify the contiguous-layout win: a full
+// k-NN scan through the result-queue threshold, once over per-row heap
+// slices (the seed's [][]float32 data plane, allocated in shuffled order
+// the way a parallel build leaves them) and once over the flat matrix.
+// Run with: go test -bench=CompareLoop -benchmem ./internal/core/
+
+const (
+	benchN   = 8192
+	benchDim = 128
+	benchK   = 10
+)
+
+func benchData() (*store.Matrix, [][]float32, []float32) {
+	rng := rand.New(rand.NewSource(7))
+	mat, err := store.New(benchN, benchDim)
+	if err != nil {
+		panic(err)
+	}
+	buf := mat.Flat()
+	for i := range buf {
+		buf[i] = float32(rng.NormFloat64())
+	}
+	rows := make([][]float32, benchN)
+	for _, i := range rng.Perm(benchN) {
+		row := make([]float32, benchDim)
+		copy(row, mat.Row(i))
+		rows[i] = row
+	}
+	q := make([]float32, benchDim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	return mat, rows, q
+}
+
+func BenchmarkCompareLoopRows(b *testing.B) {
+	_, rows, q := benchData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		rq := heap.NewResultQueue(benchK)
+		for id := range rows {
+			d := vec.L2Sq(q, rows[id])
+			if d < rq.Threshold() {
+				rq.Push(id, d)
+			}
+		}
+		sink += rq.Threshold()
+	}
+	_ = sink
+}
+
+func BenchmarkCompareLoopFlat(b *testing.B) {
+	mat, _, q := benchData()
+	exact, err := NewExact(mat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := exact.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		rq := heap.NewResultQueue(benchK)
+		for id := 0; id < benchN; id++ {
+			d, _ := ev.Compare(id, rq.Threshold())
+			if d < rq.Threshold() {
+				rq.Push(id, d)
+			}
+		}
+		sink += rq.Threshold()
+	}
+	_ = sink
+}

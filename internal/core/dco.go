@@ -16,6 +16,7 @@ import (
 	"errors"
 	"math"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -95,69 +96,97 @@ type QueryEvaluator interface {
 	Stats() *Stats
 }
 
-// Exact is the baseline DCO computing every distance in full. It owns the
-// original vectors; other DCOs that need original-space exact distances
-// (e.g. DDCopq) embed the same data slice.
-type Exact struct {
-	data [][]float32
-	dim  int
+// ResettableEvaluator is a QueryEvaluator that can be re-primed for a new
+// query, reusing its scratch buffers (rotated query, suffix tables, lookup
+// tables) instead of allocating fresh ones. Reset zeroes the work counters.
+// A reset evaluator must answer exactly like a freshly built one.
+type ResettableEvaluator interface {
+	QueryEvaluator
+	Reset(q []float32) error
 }
 
-// NewExact wraps data (non-empty, rectangular) in an exact DCO.
-func NewExact(data [][]float32) (*Exact, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+// PooledDCO is implemented by every DCO in this repository: NewEvaluator
+// returns an unprimed evaluator whose scratch is preallocated. Callers
+// (evaluator pools, batch searches) must Reset it before use. NewQuery is
+// equivalent to NewEvaluator followed by Reset.
+type PooledDCO interface {
+	DCO
+	NewEvaluator() ResettableEvaluator
+}
+
+// Exact is the baseline DCO computing every distance in full. It owns the
+// original vectors in a flat row-major matrix; other DCOs that need
+// original-space exact distances (e.g. DDCopq) share the same matrix.
+type Exact struct {
+	data *store.Matrix
+}
+
+// NewExact wraps a flat matrix in an exact DCO.
+func NewExact(data *store.Matrix) (*Exact, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("core: empty data")
 	}
-	dim := len(data[0])
-	for _, row := range data {
-		if len(row) != dim {
-			return nil, errors.New("core: ragged data")
-		}
-	}
-	return &Exact{data: data, dim: dim}, nil
+	return &Exact{data: data}, nil
 }
 
 // Name implements DCO.
 func (e *Exact) Name() string { return "exact" }
 
 // Size implements DCO.
-func (e *Exact) Size() int { return len(e.data) }
+func (e *Exact) Size() int { return e.data.Rows() }
 
 // Dim implements DCO.
-func (e *Exact) Dim() int { return e.dim }
+func (e *Exact) Dim() int { return e.data.Dim() }
 
 // ExtraBytes implements DCO: the exact method stores nothing extra.
 func (e *Exact) ExtraBytes() int64 { return 0 }
 
 // Data exposes the underlying vectors (read-only by convention) so index
 // builders can compute construction-time distances without an evaluator.
-func (e *Exact) Data() [][]float32 { return e.data }
+func (e *Exact) Data() *store.Matrix { return e.data }
 
 // NewQuery implements DCO.
 func (e *Exact) NewQuery(q []float32) (QueryEvaluator, error) {
-	if len(q) != e.dim {
-		return nil, errors.New("core: query dimension mismatch")
+	ev := e.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
+		return nil, err
 	}
-	return &exactEvaluator{parent: e, q: q}, nil
+	return ev, nil
+}
+
+// NewEvaluator implements PooledDCO.
+func (e *Exact) NewEvaluator() ResettableEvaluator {
+	return &exactEvaluator{parent: e, flat: e.data.Flat(), dim: e.data.Dim()}
 }
 
 type exactEvaluator struct {
 	parent *Exact
+	flat   []float32
+	dim    int
 	q      []float32
 	stats  Stats
 }
 
+func (ev *exactEvaluator) Reset(q []float32) error {
+	if len(q) != ev.dim {
+		return errors.New("core: query dimension mismatch")
+	}
+	ev.q = q
+	ev.stats = Stats{}
+	return nil
+}
+
 func (ev *exactEvaluator) Distance(id int) float32 {
 	ev.stats.ExactDistances++
-	ev.stats.DimsScanned += int64(ev.parent.dim)
-	return vec.L2Sq(ev.q, ev.parent.data[id])
+	ev.stats.DimsScanned += int64(ev.dim)
+	return vec.L2SqFlat(ev.q, ev.flat, id*ev.dim)
 }
 
 func (ev *exactEvaluator) Compare(id int, tau float32) (float32, bool) {
 	ev.stats.Comparisons++
 	ev.stats.ExactDistances++
-	ev.stats.DimsScanned += int64(ev.parent.dim)
-	d := vec.L2Sq(ev.q, ev.parent.data[id])
+	ev.stats.DimsScanned += int64(ev.dim)
+	d := vec.L2SqFlat(ev.q, ev.flat, id*ev.dim)
 	_ = tau
 	return d, false
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -21,11 +22,15 @@ func toy(r *rand.Rand, n, d int) [][]float32 {
 	return data
 }
 
+func toyMat(r *rand.Rand, n, d int) *store.Matrix {
+	return store.MustFromRows(toy(r, n, d))
+}
+
 func TestNewExactErrors(t *testing.T) {
 	if _, err := NewExact(nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if _, err := NewExact([][]float32{{1, 2}, {3}}); err == nil {
+	if _, err := store.FromRows([][]float32{{1, 2}, {3}}); err == nil {
 		t.Fatal("expected ragged error")
 	}
 }
@@ -33,7 +38,7 @@ func TestNewExactErrors(t *testing.T) {
 func TestExactDistanceMatchesL2(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	data := toy(r, 50, 8)
-	dco, err := NewExact(data)
+	dco, err := NewExact(store.MustFromRows(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +57,7 @@ func TestExactDistanceMatchesL2(t *testing.T) {
 func TestExactCompareNeverPrunes(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	data := toy(r, 20, 4)
-	dco, _ := NewExact(data)
+	dco, _ := NewExact(store.MustFromRows(data))
 	ev, _ := dco.NewQuery(data[0])
 	for id := range data {
 		d, pruned := ev.Compare(id, 0.001)
@@ -73,7 +78,7 @@ func TestExactCompareNeverPrunes(t *testing.T) {
 }
 
 func TestExactQueryDimMismatch(t *testing.T) {
-	dco, _ := NewExact([][]float32{{1, 2}})
+	dco, _ := NewExact(store.MustFromRows([][]float32{{1, 2}}))
 	if _, err := dco.NewQuery([]float32{1}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -103,13 +108,13 @@ func TestExactMetadata(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n, d := 1+r.Intn(30), 1+r.Intn(16)
-		data := toy(r, n, d)
+		data := toyMat(r, n, d)
 		dco, err := NewExact(data)
 		if err != nil {
 			return false
 		}
 		return dco.Size() == n && dco.Dim() == d && dco.ExtraBytes() == 0 &&
-			dco.Name() == "exact" && len(dco.Data()) == n
+			dco.Name() == "exact" && dco.Data().Rows() == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

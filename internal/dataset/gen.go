@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -31,6 +32,17 @@ type Dataset struct {
 	Data    [][]float32 // base vectors
 	Queries [][]float32 // evaluation queries
 	Train   [][]float32 // training queries (classifier calibration)
+
+	mat *store.Matrix // lazily built flat view of Data
+}
+
+// Matrix returns Data as a flat row-major matrix, building (and caching)
+// it on first use. Callers must not mutate Data afterwards.
+func (ds *Dataset) Matrix() *store.Matrix {
+	if ds.mat == nil {
+		ds.mat = store.MustFromRows(ds.Data)
+	}
+	return ds.mat
 }
 
 // GenConfig parameterizes the synthetic generator.

@@ -36,7 +36,7 @@ func TestNewResErrors(t *testing.T) {
 
 func TestResDistanceExact(t *testing.T) {
 	ds := getDS(t)
-	r, err := NewRes(ds.Data, ResConfig{Seed: 1})
+	r, err := NewRes(ds.Matrix(), ResConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestResDistanceExact(t *testing.T) {
 
 func TestResCompareFallthroughIsExact(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1, InitD: 8, DeltaD: 8})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1, InitD: 8, DeltaD: 8})
 	q := ds.Queries[1]
 	ev, _ := r.NewQuery(q)
 	for id := 0; id < 100; id++ {
@@ -74,7 +74,7 @@ func TestResCompareFallthroughIsExact(t *testing.T) {
 
 func TestResCompareInfTau(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1})
 	ev, _ := r.NewQuery(ds.Queries[0])
 	_, pruned := ev.Compare(3, float32(math.Inf(1)))
 	if pruned {
@@ -85,7 +85,7 @@ func TestResCompareInfTau(t *testing.T) {
 // Soundness: with m=3 the false-prune rate must be far below 1%.
 func TestResCompareSoundness(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1, Multiplier: 3})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1, Multiplier: 3})
 	falsePrunes, prunes := 0, 0
 	rng := rand.New(rand.NewSource(4))
 	for _, q := range ds.Queries {
@@ -115,7 +115,7 @@ func TestResCompareSoundness(t *testing.T) {
 // an exact scan when pruning against tight thresholds.
 func TestResScansFewDimensions(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1, InitD: 8, DeltaD: 8})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1, InitD: 8, DeltaD: 8})
 	q := ds.Queries[2]
 	ev, _ := r.NewQuery(q)
 	// Tau near the 10-NN distance: most points should prune early.
@@ -139,7 +139,7 @@ func TestResScansFewDimensions(t *testing.T) {
 // must be far below sigma at depth 0.
 func TestResSigmaDecay(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1})
 	ev0, _ := r.NewQuery(ds.Queries[0])
 	rev := ev0.(*resEvaluator)
 	if rev.sigma[32] > rev.sigma[0]*0.7 {
@@ -155,7 +155,7 @@ func TestResAlgorithm1Mode(t *testing.T) {
 	// DeltaD >= Dim gives the non-incremental Algorithm 1: one test at
 	// InitD, then exact.
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1, InitD: 16, DeltaD: 9999})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1, InitD: 16, DeltaD: 9999})
 	q := ds.Queries[3]
 	ev, _ := r.NewQuery(q)
 	_, pruned := ev.Compare(0, 1e-6)
@@ -170,7 +170,7 @@ func TestResAlgorithm1Mode(t *testing.T) {
 
 func TestResEstimationError(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1})
 	q := ds.Queries[0]
 	// At depth 0 the "error" is -2<q_rot, x_rot> over all dims; at full
 	// depth it is 0.
@@ -190,7 +190,7 @@ func TestResEstimationError(t *testing.T) {
 	rev, _ := r.NewQuery(q)
 	exact := float64(rev.Distance(5))
 	rq, _ := r.Model().Project(q)
-	x := r.Rotated()[5]
+	x := r.Rotated().Row(5)
 	for _, d := range []int{8, 16, 32} {
 		eps, _ := r.EstimationError(q, 5, d)
 		disApprox := float64(vec.NormSq(x)) + float64(vec.NormSq(rq)) -
@@ -204,7 +204,7 @@ func TestResEstimationError(t *testing.T) {
 
 func TestResExtraBytes(t *testing.T) {
 	ds := getDS(t)
-	r, _ := NewRes(ds.Data, ResConfig{Seed: 1})
+	r, _ := NewRes(ds.Matrix(), ResConfig{Seed: 1})
 	want := int64(64*64*8 + len(ds.Data)*4)
 	if r.ExtraBytes() != want {
 		t.Fatalf("ExtraBytes = %d, want %d", r.ExtraBytes(), want)
@@ -213,7 +213,7 @@ func TestResExtraBytes(t *testing.T) {
 
 func TestCollectSamples(t *testing.T) {
 	ds := getDS(t)
-	samples, err := CollectSamples(ds.Data, ds.Train[:10], CollectConfig{K: 20, NegPerQuery: 30, Seed: 1})
+	samples, err := CollectSamples(ds.Matrix(), ds.Train[:10], CollectConfig{K: 20, NegPerQuery: 30, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,14 +257,14 @@ func TestCollectSamplesErrors(t *testing.T) {
 	if _, err := CollectSamples(nil, ds.Train[:1], CollectConfig{}); err == nil {
 		t.Fatal("expected empty-data error")
 	}
-	if _, err := CollectSamples(ds.Data, nil, CollectConfig{}); err == nil {
+	if _, err := CollectSamples(ds.Matrix(), nil, CollectConfig{}); err == nil {
 		t.Fatal("expected no-queries error")
 	}
 }
 
 func TestPCADCOBasics(t *testing.T) {
 	ds := getDS(t)
-	p, err := NewPCA(ds.Data, ds.Train, PCAConfig{
+	p, err := NewPCA(ds.Matrix(), ds.Train, PCAConfig{
 		Seed:    2,
 		Collect: CollectConfig{K: 20, NegPerQuery: 40},
 	})
@@ -299,7 +299,7 @@ func TestPCADCOBasics(t *testing.T) {
 // target: label-0-style candidates (true neighbors) survive.
 func TestPCADCOFalsePruneRate(t *testing.T) {
 	ds := getDS(t)
-	p, err := NewPCA(ds.Data, ds.Train, PCAConfig{
+	p, err := NewPCA(ds.Matrix(), ds.Train, PCAConfig{
 		Seed:         3,
 		TargetRecall: 0.995,
 		Collect:      CollectConfig{K: 20, NegPerQuery: 60},
@@ -337,18 +337,18 @@ func TestPCADCOFalsePruneRate(t *testing.T) {
 
 func TestPCADCOLevelValidation(t *testing.T) {
 	ds := getDS(t)
-	if _, err := NewPCA(ds.Data, ds.Train, PCAConfig{Levels: []int{64}, Seed: 1,
+	if _, err := NewPCA(ds.Matrix(), ds.Train, PCAConfig{Levels: []int{64}, Seed: 1,
 		Collect: CollectConfig{K: 10, NegPerQuery: 20}}); err == nil {
 		t.Fatal("expected level >= dim error")
 	}
-	if _, err := NewPCA(ds.Data, ds.Train, PCAConfig{TargetRecall: 1.5, Seed: 1}); err == nil {
+	if _, err := NewPCA(ds.Matrix(), ds.Train, PCAConfig{TargetRecall: 1.5, Seed: 1}); err == nil {
 		t.Fatal("expected target recall error")
 	}
 }
 
 func TestOPQDCOBasics(t *testing.T) {
 	ds := getDS(t)
-	o, err := NewOPQ(ds.Data, ds.Train, OPQConfig{
+	o, err := NewOPQ(ds.Matrix(), ds.Train, OPQConfig{
 		M: 8, Nbits: 6, OPQIters: 2, Seed: 4,
 		Collect: CollectConfig{K: 20, NegPerQuery: 40},
 	})
@@ -380,7 +380,7 @@ func TestOPQDCOBasics(t *testing.T) {
 
 func TestOPQDCOPrunesAggressively(t *testing.T) {
 	ds := getDS(t)
-	o, err := NewOPQ(ds.Data, ds.Train, OPQConfig{
+	o, err := NewOPQ(ds.Matrix(), ds.Train, OPQConfig{
 		M: 8, Nbits: 6, OPQIters: 2, Seed: 5,
 		Collect: CollectConfig{K: 20, NegPerQuery: 60},
 	})
@@ -417,7 +417,7 @@ func TestOPQDCOPrunesAggressively(t *testing.T) {
 
 func TestOPQDCONoResidualFeature(t *testing.T) {
 	ds := getDS(t)
-	o, err := NewOPQ(ds.Data, ds.Train[:30], OPQConfig{
+	o, err := NewOPQ(ds.Matrix(), ds.Train[:30], OPQConfig{
 		M: 8, Nbits: 4, OPQIters: 1, Seed: 6, DisableResidualFeature: true,
 		Collect: CollectConfig{K: 10, NegPerQuery: 30},
 	})
@@ -431,9 +431,9 @@ func TestOPQDCONoResidualFeature(t *testing.T) {
 
 func TestResDeterministic(t *testing.T) {
 	ds := getDS(t)
-	a, _ := NewRes(ds.Data, ResConfig{Seed: 7})
-	b, _ := NewRes(ds.Data, ResConfig{Seed: 7})
-	if !vec.Equal(a.Rotated()[3], b.Rotated()[3]) {
+	a, _ := NewRes(ds.Matrix(), ResConfig{Seed: 7})
+	b, _ := NewRes(ds.Matrix(), ResConfig{Seed: 7})
+	if !vec.Equal(a.Rotated().Row(3), b.Rotated().Row(3)) {
 		t.Fatal("same seed must rotate identically")
 	}
 }
@@ -452,3 +452,7 @@ func quantile32(xs []float32, q float64) float32 {
 var _ core.DCO = (*Res)(nil)
 var _ core.DCO = (*PCADCO)(nil)
 var _ core.DCO = (*OPQDCO)(nil)
+
+var _ core.PooledDCO = (*Res)(nil)
+var _ core.PooledDCO = (*PCADCO)(nil)
+var _ core.PooledDCO = (*OPQDCO)(nil)

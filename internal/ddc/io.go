@@ -8,12 +8,15 @@ import (
 	"resinfer/internal/pca"
 	"resinfer/internal/persist"
 	"resinfer/internal/quant"
+	"resinfer/internal/store"
 )
 
+// Version 2 of the comparator streams stores vector payloads as flat
+// row-major matrix blocks (store.Matrix) instead of per-row slices.
 const (
-	resMagic    = "RIRES1"
-	pcaDCOMagic = "RIDPC1"
-	opqDCOMagic = "RIDOQ1"
+	resMagic    = "RIRES2"
+	pcaDCOMagic = "RIDPC2"
+	opqDCOMagic = "RIDOQ2"
 )
 
 // Encode writes the DDCres comparator (PCA model, rotated vectors, norms,
@@ -21,7 +24,7 @@ const (
 func (r *Res) Encode(pw *persist.Writer) {
 	pw.Magic(resMagic)
 	r.model.Encode(pw)
-	pw.F32Mat(r.rotated)
+	r.rotated.Encode(pw)
 	pw.F32s(r.norms)
 	pw.F64(float64(r.m))
 	pw.Int(r.initD)
@@ -35,10 +38,14 @@ func DecodeRes(pr *persist.Reader) (*Res, error) {
 	if err != nil {
 		return nil, err
 	}
+	rotated, err := store.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
 	r := &Res{
 		model:   model,
 		dim:     model.Dim,
-		rotated: pr.F32Mat(),
+		rotated: rotated,
 	}
 	r.norms = pr.F32s()
 	r.m = float32(pr.F64())
@@ -47,14 +54,9 @@ func DecodeRes(pr *persist.Reader) (*Res, error) {
 	if err := pr.Err(); err != nil {
 		return nil, err
 	}
-	if len(r.rotated) == 0 || len(r.norms) != len(r.rotated) ||
+	if rotated.Dim() != r.dim || len(r.norms) != rotated.Rows() ||
 		r.initD <= 0 || r.initD > r.dim || r.deltaD <= 0 || r.m <= 0 {
 		return nil, errors.New("ddc: corrupt encoded Res")
-	}
-	for _, row := range r.rotated {
-		if len(row) != r.dim {
-			return nil, errors.New("ddc: corrupt rotated row")
-		}
 	}
 	return r, nil
 }
@@ -75,7 +77,7 @@ func ReadRes(rd io.Reader) (*Res, error) {
 func (p *PCADCO) Encode(pw *persist.Writer) {
 	pw.Magic(pcaDCOMagic)
 	p.model.Encode(pw)
-	pw.F32Mat(p.rotated)
+	p.rotated.Encode(pw)
 	pw.Ints(p.levels)
 	pw.Int(len(p.classifiers))
 	for _, c := range p.classifiers {
@@ -90,10 +92,14 @@ func DecodePCA(pr *persist.Reader) (*PCADCO, error) {
 	if err != nil {
 		return nil, err
 	}
+	rotated, err := store.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
 	p := &PCADCO{
 		model:   model,
 		dim:     model.Dim,
-		rotated: pr.F32Mat(),
+		rotated: rotated,
 		levels:  pr.Ints(),
 	}
 	nc := pr.Int()
@@ -111,7 +117,7 @@ func DecodePCA(pr *persist.Reader) (*PCADCO, error) {
 		}
 		p.classifiers[i] = c
 	}
-	if len(p.rotated) == 0 {
+	if rotated.Dim() != p.dim {
 		return nil, errors.New("ddc: corrupt encoded PCADCO")
 	}
 	for _, l := range p.levels {
@@ -149,8 +155,8 @@ func (o *OPQDCO) Encode(pw *persist.Writer) {
 
 // DecodeOPQ reads a DDCopq comparator previously written by Encode,
 // rebinding it to the given original vectors (used for exact fallbacks).
-func DecodeOPQ(pr *persist.Reader, data [][]float32) (*OPQDCO, error) {
-	if len(data) == 0 {
+func DecodeOPQ(pr *persist.Reader, data *store.Matrix) (*OPQDCO, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: DecodeOPQ needs the original vectors")
 	}
 	pr.Magic(opqDCOMagic)
@@ -174,8 +180,8 @@ func DecodeOPQ(pr *persist.Reader, data [][]float32) (*OPQDCO, error) {
 	if err := pr.Err(); err != nil {
 		return nil, err
 	}
-	if o.dim != len(data[0]) || len(o.codes) != len(data)*opq.PQ.M ||
-		len(o.resNorms) != len(data) {
+	if o.dim != data.Dim() || len(o.codes) != data.Rows()*opq.PQ.M ||
+		len(o.resNorms) != data.Rows() {
 		return nil, errors.New("ddc: encoded OPQDCO does not match the data")
 	}
 	return o, nil
@@ -189,6 +195,6 @@ func (o *OPQDCO) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadOPQ deserializes a standalone DDCopq comparator.
-func ReadOPQ(rd io.Reader, data [][]float32) (*OPQDCO, error) {
+func ReadOPQ(rd io.Reader, data *store.Matrix) (*OPQDCO, error) {
 	return DecodeOPQ(persist.NewReader(rd), data)
 }

@@ -4,12 +4,13 @@ import (
 	"bytes"
 	"testing"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
 func TestResRoundTrip(t *testing.T) {
 	ds := getDS(t)
-	orig, err := NewRes(ds.Data, ResConfig{Seed: 41, InitD: 8, DeltaD: 16, Multiplier: 2.5})
+	orig, err := NewRes(ds.Matrix(), ResConfig{Seed: 41, InitD: 8, DeltaD: 16, Multiplier: 2.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestResRoundTrip(t *testing.T) {
 
 func TestResRoundTripCorruption(t *testing.T) {
 	ds := getDS(t)
-	orig, _ := NewRes(ds.Data[:200], ResConfig{Seed: 43})
+	orig, _ := NewRes(store.MustFromRows(ds.Data[:200]), ResConfig{Seed: 43})
 	var buf bytes.Buffer
 	if _, err := orig.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -60,7 +61,7 @@ func TestResRoundTripCorruption(t *testing.T) {
 
 func TestPCADCORoundTrip(t *testing.T) {
 	ds := getDS(t)
-	orig, err := NewPCA(ds.Data, ds.Train[:30], PCAConfig{
+	orig, err := NewPCA(ds.Matrix(), ds.Train[:30], PCAConfig{
 		Seed: 45, Collect: CollectConfig{K: 10, NegPerQuery: 20},
 	})
 	if err != nil {
@@ -91,7 +92,7 @@ func TestPCADCORoundTrip(t *testing.T) {
 
 func TestOPQDCORoundTrip(t *testing.T) {
 	ds := getDS(t)
-	orig, err := NewOPQ(ds.Data, ds.Train[:30], OPQConfig{
+	orig, err := NewOPQ(ds.Matrix(), ds.Train[:30], OPQConfig{
 		M: 8, Nbits: 4, OPQIters: 1, Seed: 47,
 		Collect: CollectConfig{K: 10, NegPerQuery: 20},
 	})
@@ -102,7 +103,7 @@ func TestOPQDCORoundTrip(t *testing.T) {
 	if _, err := orig.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := ReadOPQ(&buf, ds.Data)
+	loaded, err := ReadOPQ(&buf, ds.Matrix())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestOPQDCORoundTrip(t *testing.T) {
 	if _, err := orig.WriteTo(&buf2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadOPQ(&buf2, ds.Data[:10]); err == nil {
+	if _, err := ReadOPQ(&buf2, store.MustFromRows(ds.Data[:10])); err == nil {
 		t.Fatal("expected data-mismatch error")
 	}
 	if _, err := ReadOPQ(bytes.NewReader(nil), nil); err == nil {
@@ -131,7 +132,7 @@ func TestOPQDCORoundTrip(t *testing.T) {
 
 func TestResRoundTripPreservesExactDistances(t *testing.T) {
 	ds := getDS(t)
-	orig, _ := NewRes(ds.Data[:300], ResConfig{Seed: 49})
+	orig, _ := NewRes(store.MustFromRows(ds.Data[:300]), ResConfig{Seed: 49})
 	var buf bytes.Buffer
 	if _, err := orig.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -140,7 +141,7 @@ func TestResRoundTripPreservesExactDistances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !vec.Equal(orig.Rotated()[5], loaded.Rotated()[5]) {
+	if !vec.Equal(orig.Rotated().Row(5), loaded.Rotated().Row(5)) {
 		t.Fatal("rotated vectors differ")
 	}
 	if !vec.Equal(orig.Norms(), loaded.Norms()) {

@@ -9,6 +9,7 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/learn"
 	"resinfer/internal/quant"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -38,7 +39,7 @@ type OPQConfig struct {
 
 // OPQDCO is the DDCopq comparator.
 type OPQDCO struct {
-	data        [][]float32 // original vectors for the exact fallback
+	data        *store.Matrix // original vectors for the exact fallback
 	opq         *quant.OPQ
 	codes       []byte
 	resNorms    []float32
@@ -49,11 +50,11 @@ type OPQDCO struct {
 
 // NewOPQ trains OPQ on data, encodes every point, collects labeled samples
 // from trainQueries and fits the correction classifier.
-func NewOPQ(data, trainQueries [][]float32, cfg OPQConfig) (*OPQDCO, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+func NewOPQ(data *store.Matrix, trainQueries [][]float32, cfg OPQConfig) (*OPQDCO, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: empty data")
 	}
-	dim := len(data[0])
+	dim := data.Dim()
 	if cfg.M <= 0 {
 		cfg.M = dim / 4
 		if cfg.M > 64 {
@@ -92,18 +93,18 @@ func NewOPQ(data, trainQueries [][]float32, cfg OPQConfig) (*OPQDCO, error) {
 		data:        data,
 		opq:         opq,
 		codes:       codes,
-		resNorms:    make([]float32, len(data)),
+		resNorms:    make([]float32, data.Rows()),
 		dim:         dim,
 		useResidual: !cfg.DisableResidualFeature,
 	}
 	m := opq.PQ.M
-	for i, row := range data {
-		y, err := opq.Rotate(row)
-		if err != nil {
+	y := make([]float32, dim)
+	dec := make([]float32, dim)
+	for i := 0; i < data.Rows(); i++ {
+		if err := opq.RotateInto(y, data.Row(i)); err != nil {
 			return nil, err
 		}
-		dec, err := opq.PQ.Decode(codes[i*m : (i+1)*m])
-		if err != nil {
+		if err := opq.PQ.DecodeInto(dec, codes[i*m:(i+1)*m]); err != nil {
 			return nil, err
 		}
 		o.resNorms[i] = vec.L2Sq(y, dec)
@@ -164,7 +165,7 @@ func (o *OPQDCO) Retrain(trainQueries [][]float32, cfg OPQConfig) error {
 func (o *OPQDCO) Name() string { return "ddc-opq" }
 
 // Size implements core.DCO.
-func (o *OPQDCO) Size() int { return len(o.data) }
+func (o *OPQDCO) Size() int { return o.data.Rows() }
 
 // Dim implements core.DCO.
 func (o *OPQDCO) Dim() int { return o.dim }
@@ -173,7 +174,7 @@ func (o *OPQDCO) Dim() int { return o.dim }
 // (§VI-B's n·M·nbits bits plus the OPQ rotation).
 func (o *OPQDCO) ExtraBytes() int64 {
 	return int64(o.dim)*int64(o.dim)*8 +
-		int64(o.opq.PQ.CodeBytes(len(o.data))) +
+		int64(o.opq.PQ.CodeBytes(o.data.Rows())) +
 		int64(len(o.resNorms))*4
 }
 
@@ -184,27 +185,51 @@ func (o *OPQDCO) Quantizer() *quant.OPQ { return o.opq }
 // lookup table (O(D·2^nbits)), after which each approximate distance costs
 // M table lookups.
 func (o *OPQDCO) NewQuery(q []float32) (core.QueryEvaluator, error) {
-	if len(q) != o.dim {
-		return nil, errors.New("ddc: query dimension mismatch")
-	}
-	lut, err := o.opq.BuildLUT(q)
-	if err != nil {
+	ev := o.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
 		return nil, err
 	}
-	return &opqEvaluator{parent: o, q: q, lut: lut}, nil
+	return ev, nil
+}
+
+// NewEvaluator implements core.PooledDCO: the returned evaluator owns the
+// lookup table and the rotation scratch.
+func (o *OPQDCO) NewEvaluator() core.ResettableEvaluator {
+	return &opqEvaluator{
+		parent: o,
+		flat:   o.data.Flat(),
+		rot:    make([]float32, o.dim),
+		lut:    &quant.LUT{Tab: make([]float32, o.opq.PQ.M*o.opq.PQ.K)},
+	}
 }
 
 type opqEvaluator struct {
 	parent *OPQDCO
-	q      []float32
+	flat   []float32 // original vectors, row-major
+	q      []float32 // caller query (exact fallbacks run in original space)
+	rot    []float32 // rotated-query scratch for the LUT build
 	lut    *quant.LUT
 	stats  core.Stats
+}
+
+// Reset rebuilds the lookup table for q in place and zeroes the counters.
+func (ev *opqEvaluator) Reset(q []float32) error {
+	p := ev.parent
+	if len(q) != p.dim {
+		return errors.New("ddc: query dimension mismatch")
+	}
+	if err := p.opq.BuildLUTInto(ev.lut, ev.rot, q); err != nil {
+		return err
+	}
+	ev.q = q
+	ev.stats = core.Stats{}
+	return nil
 }
 
 func (ev *opqEvaluator) Distance(id int) float32 {
 	ev.stats.ExactDistances++
 	ev.stats.DimsScanned += int64(ev.parent.dim)
-	return vec.L2Sq(ev.q, ev.parent.data[id])
+	return vec.L2SqFlat(ev.q, ev.flat, id*ev.parent.dim)
 }
 
 // Compare scores the classifier on (dis'_opq, τ [, residual]); a prune
@@ -218,7 +243,7 @@ func (ev *opqEvaluator) Compare(id int, tau float32) (float32, bool) {
 	if math.IsInf(float64(tau), 1) {
 		ev.stats.ExactDistances++
 		ev.stats.DimsScanned += int64(p.dim)
-		return vec.L2Sq(ev.q, p.data[id]), false
+		return vec.L2SqFlat(ev.q, ev.flat, id*p.dim), false
 	}
 	m := p.opq.PQ.M
 	approx := ev.lut.Distance(p.codes[id*m : (id+1)*m])
@@ -237,7 +262,7 @@ func (ev *opqEvaluator) Compare(id int, tau float32) (float32, bool) {
 	}
 	ev.stats.ExactDistances++
 	ev.stats.DimsScanned += int64(p.dim)
-	return vec.L2Sq(ev.q, p.data[id]), false
+	return vec.L2SqFlat(ev.q, ev.flat, id*p.dim), false
 }
 
 func (ev *opqEvaluator) Stats() *core.Stats { return &ev.stats }

@@ -9,6 +9,7 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/learn"
 	"resinfer/internal/pca"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -32,7 +33,7 @@ type PCAConfig struct {
 
 // PCADCO is the DDCpca comparator.
 type PCADCO struct {
-	rotated     [][]float32
+	rotated     *store.Matrix
 	model       *pca.Model
 	classifiers []*learn.Classifier
 	levels      []int
@@ -41,11 +42,11 @@ type PCADCO struct {
 
 // NewPCA trains PCA, collects labeled samples from trainQueries, and fits
 // one linear classifier per projection level.
-func NewPCA(data, trainQueries [][]float32, cfg PCAConfig) (*PCADCO, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+func NewPCA(data *store.Matrix, trainQueries [][]float32, cfg PCAConfig) (*PCADCO, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: empty data")
 	}
-	model, err := pca.Train(data, pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
+	model, err := pca.Train(data.ToRows(), pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func NewPCA(data, trainQueries [][]float32, cfg PCAConfig) (*PCADCO, error) {
 }
 
 // NewPCAFromModel is NewPCA with a pre-trained PCA model.
-func NewPCAFromModel(data, trainQueries [][]float32, model *pca.Model, cfg PCAConfig) (*PCADCO, error) {
+func NewPCAFromModel(data *store.Matrix, trainQueries [][]float32, model *pca.Model, cfg PCAConfig) (*PCADCO, error) {
 	dim := model.Dim
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -79,46 +80,13 @@ func NewPCAFromModel(data, trainQueries [][]float32, model *pca.Model, cfg PCACo
 		}
 	}
 
-	rotated, err := model.ProjectAllParallel(data, cfg.Workers)
+	rotated, err := model.ProjectMatrix(data, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	// Collect labeled samples in the ROTATED space: rotation preserves
-	// exact distances, and the approximate distance at level l is the
-	// prefix distance over the first l rotated coordinates.
-	rq, err := model.ProjectAllParallel(trainQueries, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	cc := cfg.Collect
-	cc.Seed = cfg.Seed
-	cc.Workers = cfg.Workers
-	samples, err := CollectSamples(rotated, rq, cc)
-	if err != nil {
-		return nil, err
-	}
-
 	p := &PCADCO{rotated: rotated, model: model, levels: levels, dim: dim}
-	p.classifiers = make([]*learn.Classifier, len(levels))
-	for li, level := range levels {
-		var feats [][]float64
-		var labels []int
-		for _, qs := range samples {
-			for i, id := range qs.IDs {
-				approx := vec.L2SqRange(qs.Query, rotated[id], 0, level)
-				feats = append(feats, []float64{float64(approx), float64(qs.Tau)})
-				labels = append(labels, qs.Labels[i])
-			}
-		}
-		clf, err := learn.Train(feats, labels, learn.Config{
-			Epochs:        cfg.TrainEpochs,
-			Seed:          cfg.Seed + int64(li),
-			TargetRecall0: cfg.TargetRecall,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("ddc: level %d classifier: %w", level, err)
-		}
-		p.classifiers[li] = clf
+	if err := p.Retrain(trainQueries, cfg); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -127,7 +95,7 @@ func NewPCAFromModel(data, trainQueries [][]float32, model *pca.Model, cfg PCACo
 func (p *PCADCO) Name() string { return "ddc-pca" }
 
 // Size implements core.DCO.
-func (p *PCADCO) Size() int { return len(p.rotated) }
+func (p *PCADCO) Size() int { return p.rotated.Rows() }
 
 // Dim implements core.DCO.
 func (p *PCADCO) Dim() int { return p.dim }
@@ -158,23 +126,34 @@ func (p *PCADCO) Retrain(trainQueries [][]float32, cfg PCAConfig) error {
 	if cfg.TargetRecall == 0 {
 		cfg.TargetRecall = 0.995
 	}
-	rq, err := p.model.ProjectAllParallel(trainQueries, cfg.Workers)
+	if len(trainQueries) == 0 {
+		return errors.New("ddc: no training queries")
+	}
+	// Collect labeled samples in the ROTATED space: rotation preserves
+	// exact distances, and the approximate distance at level l is the
+	// prefix distance over the first l rotated coordinates.
+	tq, err := store.FromRows(trainQueries)
+	if err != nil {
+		return err
+	}
+	rq, err := p.model.ProjectMatrix(tq, cfg.Workers)
 	if err != nil {
 		return err
 	}
 	cc := cfg.Collect
 	cc.Seed = cfg.Seed
 	cc.Workers = cfg.Workers
-	samples, err := CollectSamples(p.rotated, rq, cc)
+	samples, err := CollectSamples(p.rotated, rq.ToRows(), cc)
 	if err != nil {
 		return err
 	}
+	classifiers := make([]*learn.Classifier, len(p.levels))
 	for li, level := range p.levels {
 		var feats [][]float64
 		var labels []int
 		for _, qs := range samples {
 			for i, id := range qs.IDs {
-				approx := vec.L2SqRange(qs.Query, p.rotated[id], 0, level)
+				approx := vec.L2SqRange(qs.Query, p.rotated.Row(id), 0, level)
 				feats = append(feats, []float64{float64(approx), float64(qs.Tau)})
 				labels = append(labels, qs.Labels[i])
 			}
@@ -187,30 +166,53 @@ func (p *PCADCO) Retrain(trainQueries [][]float32, cfg PCAConfig) error {
 		if err != nil {
 			return fmt.Errorf("ddc: level %d classifier: %w", level, err)
 		}
-		p.classifiers[li] = clf
+		classifiers[li] = clf
 	}
+	p.classifiers = classifiers
 	return nil
 }
 
 // NewQuery implements core.DCO.
 func (p *PCADCO) NewQuery(q []float32) (core.QueryEvaluator, error) {
-	rq, err := p.model.Project(q)
-	if err != nil {
+	ev := p.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
 		return nil, err
 	}
-	return &pcaEvaluator{parent: p, q: rq}, nil
+	return ev, nil
+}
+
+// NewEvaluator implements core.PooledDCO: the returned evaluator owns the
+// rotated-query buffer and the centering scratch.
+func (p *PCADCO) NewEvaluator() core.ResettableEvaluator {
+	return &pcaEvaluator{
+		parent: p,
+		flat:   p.rotated.Flat(),
+		q:      make([]float32, p.dim),
+		cent:   make([]float32, p.dim),
+	}
 }
 
 type pcaEvaluator struct {
 	parent *PCADCO
-	q      []float32
+	flat   []float32 // rotated vectors, row-major
+	q      []float32 // rotated query (owned scratch)
+	cent   []float32 // centering scratch
 	stats  core.Stats
+}
+
+// Reset projects q into the evaluator's scratch and zeroes the counters.
+func (ev *pcaEvaluator) Reset(q []float32) error {
+	if err := ev.parent.model.ProjectInto(ev.q, q, ev.cent); err != nil {
+		return err
+	}
+	ev.stats = core.Stats{}
+	return nil
 }
 
 func (ev *pcaEvaluator) Distance(id int) float32 {
 	ev.stats.ExactDistances++
 	ev.stats.DimsScanned += int64(ev.parent.dim)
-	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+	return vec.L2SqFlat(ev.q, ev.flat, id*ev.parent.dim)
 }
 
 // Compare accumulates the prefix distance level by level; at each trained
@@ -220,17 +222,17 @@ func (ev *pcaEvaluator) Distance(id int) float32 {
 func (ev *pcaEvaluator) Compare(id int, tau float32) (float32, bool) {
 	ev.stats.Comparisons++
 	p := ev.parent
-	x := p.rotated[id]
+	base := id * p.dim
 	if math.IsInf(float64(tau), 1) {
 		ev.stats.ExactDistances++
 		ev.stats.DimsScanned += int64(p.dim)
-		return vec.L2Sq(ev.q, x), false
+		return vec.L2SqFlat(ev.q, ev.flat, base), false
 	}
 	var partial float32
 	prev := 0
 	feat := [2]float64{0, float64(tau)}
 	for li, level := range p.levels {
-		partial += vec.L2SqRange(ev.q, x, prev, level)
+		partial += vec.L2SqRangeFlat(ev.q, ev.flat, base, prev, level)
 		ev.stats.DimsScanned += int64(level - prev)
 		prev = level
 		feat[0] = float64(partial)
@@ -239,7 +241,7 @@ func (ev *pcaEvaluator) Compare(id int, tau float32) (float32, bool) {
 			return partial, true
 		}
 	}
-	partial += vec.L2SqRange(ev.q, x, prev, p.dim)
+	partial += vec.L2SqRangeFlat(ev.q, ev.flat, base, prev, p.dim)
 	ev.stats.DimsScanned += int64(p.dim - prev)
 	ev.stats.ExactDistances++
 	return partial, false

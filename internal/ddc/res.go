@@ -9,7 +9,9 @@
 //   - DDCopq (§V-B): OPQ asymmetric distance corrected by a learned
 //     linear classifier with the quantization-residual feature.
 //
-// All three implement core.DCO and plug into the HNSW and IVF indexes.
+// All three implement core.DCO (and core.PooledDCO: their evaluators carry
+// reusable scratch) and plug into the HNSW and IVF indexes. Vector payloads
+// live in flat row-major store.Matrix buffers.
 package ddc
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"resinfer/internal/core"
 	"resinfer/internal/pca"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -44,7 +47,7 @@ type ResConfig struct {
 
 // Res is the DDCres comparator.
 type Res struct {
-	rotated [][]float32
+	rotated *store.Matrix
 	norms   []float32 // ‖x−μ‖² per point in the rotated space
 	model   *pca.Model
 	dim     int
@@ -54,11 +57,11 @@ type Res struct {
 }
 
 // NewRes trains PCA on data and builds the DDCres comparator.
-func NewRes(data [][]float32, cfg ResConfig) (*Res, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+func NewRes(data *store.Matrix, cfg ResConfig) (*Res, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: empty data")
 	}
-	model, err := pca.Train(data, pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
+	model, err := pca.Train(data.ToRows(), pca.Config{SampleSize: cfg.PCASample, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -67,21 +70,21 @@ func NewRes(data [][]float32, cfg ResConfig) (*Res, error) {
 
 // NewResFromModel builds DDCres from a pre-trained PCA model, rotating
 // data into the model's basis.
-func NewResFromModel(data [][]float32, model *pca.Model, cfg ResConfig) (*Res, error) {
-	if len(data) == 0 {
+func NewResFromModel(data *store.Matrix, model *pca.Model, cfg ResConfig) (*Res, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: empty data")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	rotated, err := model.ProjectAllParallel(data, cfg.Workers)
+	rotated, err := model.ProjectMatrix(data, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	return newResFromRotated(rotated, model, cfg)
 }
 
-func newResFromRotated(rotated [][]float32, model *pca.Model, cfg ResConfig) (*Res, error) {
+func newResFromRotated(rotated *store.Matrix, model *pca.Model, cfg ResConfig) (*Res, error) {
 	dim := model.Dim
 	if cfg.Multiplier <= 0 {
 		cfg.Multiplier = 3
@@ -100,15 +103,15 @@ func newResFromRotated(rotated [][]float32, model *pca.Model, cfg ResConfig) (*R
 	}
 	r := &Res{
 		rotated: rotated,
-		norms:   make([]float32, len(rotated)),
+		norms:   make([]float32, rotated.Rows()),
 		model:   model,
 		dim:     dim,
 		m:       float32(cfg.Multiplier),
 		initD:   cfg.InitD,
 		deltaD:  cfg.DeltaD,
 	}
-	for i, row := range rotated {
-		r.norms[i] = vec.NormSq(row)
+	for i := 0; i < rotated.Rows(); i++ {
+		r.norms[i] = vec.NormSq(rotated.Row(i))
 	}
 	return r, nil
 }
@@ -117,7 +120,7 @@ func newResFromRotated(rotated [][]float32, model *pca.Model, cfg ResConfig) (*R
 func (r *Res) Name() string { return "ddc-res" }
 
 // Size implements core.DCO.
-func (r *Res) Size() int { return len(r.rotated) }
+func (r *Res) Size() int { return r.rotated.Rows() }
 
 // Dim implements core.DCO.
 func (r *Res) Dim() int { return r.dim }
@@ -133,7 +136,7 @@ func (r *Res) ExtraBytes() int64 {
 func (r *Res) Model() *pca.Model { return r.model }
 
 // Rotated exposes the rotated vectors (read-only by convention).
-func (r *Res) Rotated() [][]float32 { return r.rotated }
+func (r *Res) Rotated() *store.Matrix { return r.rotated }
 
 // Norms exposes the stored per-point squared norms ‖x−μ‖² (read-only by
 // convention) — the C1 ingredient of the distance decomposition.
@@ -143,35 +146,57 @@ func (r *Res) Norms() []float32 { return r.norms }
 // the σ suffix table: sigma[d] = sqrt(4·Σ_{i≥d} q_i²σ_i²), so each
 // correction round reads its error bound in O(1).
 func (r *Res) NewQuery(q []float32) (core.QueryEvaluator, error) {
-	rq, err := r.model.Project(q)
-	if err != nil {
+	ev := r.NewEvaluator()
+	if err := ev.Reset(q); err != nil {
 		return nil, err
 	}
-	suffix := vec.SuffixWeightedSq(rq, r.model.Sigmas)
-	sigma := make([]float32, len(suffix))
-	for i, s := range suffix {
-		sigma[i] = float32(math.Sqrt(4 * s))
-	}
+	return ev, nil
+}
+
+// NewEvaluator implements core.PooledDCO: the returned evaluator owns the
+// rotated-query buffer, the centering scratch and the σ suffix table.
+func (r *Res) NewEvaluator() core.ResettableEvaluator {
 	return &resEvaluator{
-		parent: r,
-		q:      rq,
-		qNorm:  vec.NormSq(rq),
-		sigma:  sigma,
-	}, nil
+		parent:   r,
+		flat:     r.rotated.Flat(),
+		q:        make([]float32, r.dim),
+		cent:     make([]float32, r.dim),
+		suffix64: make([]float64, r.dim+1),
+		sigma:    make([]float32, r.dim+1),
+	}
 }
 
 type resEvaluator struct {
-	parent *Res
-	q      []float32
-	qNorm  float32
-	sigma  []float32 // error-bound σ at each projection depth
-	stats  core.Stats
+	parent   *Res
+	flat     []float32 // rotated vectors, row-major
+	q        []float32 // rotated query (owned scratch)
+	cent     []float32 // centering scratch for the PCA projection
+	suffix64 []float64 // float64 suffix accumulation scratch
+	qNorm    float32
+	sigma    []float32 // error-bound σ at each projection depth
+	stats    core.Stats
+}
+
+// Reset projects q into the evaluator's scratch, rebuilds the σ suffix
+// table and zeroes the counters.
+func (ev *resEvaluator) Reset(q []float32) error {
+	p := ev.parent
+	if err := p.model.ProjectInto(ev.q, q, ev.cent); err != nil {
+		return err
+	}
+	vec.SuffixWeightedSqInto(ev.suffix64, ev.q, p.model.Sigmas)
+	for i, s := range ev.suffix64 {
+		ev.sigma[i] = float32(math.Sqrt(4 * s))
+	}
+	ev.qNorm = vec.NormSq(ev.q)
+	ev.stats = core.Stats{}
+	return nil
 }
 
 func (ev *resEvaluator) Distance(id int) float32 {
 	ev.stats.ExactDistances++
 	ev.stats.DimsScanned += int64(ev.parent.dim)
-	return vec.L2Sq(ev.q, ev.parent.rotated[id])
+	return vec.L2SqFlat(ev.q, ev.flat, id*ev.parent.dim)
 }
 
 // Compare implements Incremental-DDCres (Algorithm 2): C1 is precomputed
@@ -180,11 +205,11 @@ func (ev *resEvaluator) Distance(id int) float32 {
 func (ev *resEvaluator) Compare(id int, tau float32) (float32, bool) {
 	ev.stats.Comparisons++
 	p := ev.parent
-	x := p.rotated[id]
+	base := id * p.dim
 	if math.IsInf(float64(tau), 1) {
 		ev.stats.ExactDistances++
 		ev.stats.DimsScanned += int64(p.dim)
-		return vec.L2Sq(ev.q, x), false
+		return vec.L2SqFlat(ev.q, ev.flat, base), false
 	}
 	c1 := p.norms[id] + ev.qNorm
 	var c2 float32
@@ -194,7 +219,7 @@ func (ev *resEvaluator) Compare(id int, tau float32) (float32, bool) {
 		if next > p.dim {
 			next = p.dim
 		}
-		c2 += 2 * vec.DotRange(ev.q, x, d, next)
+		c2 += 2 * vec.DotRangeFlat(ev.q, ev.flat, base, d, next)
 		ev.stats.DimsScanned += int64(next - d)
 		d = next
 		approx := c1 - c2
@@ -228,6 +253,6 @@ func (r *Res) EstimationError(q []float32, id, d int) (float64, error) {
 	if d < 0 || d > r.dim {
 		return 0, errors.New("ddc: depth out of range")
 	}
-	x := r.rotated[id]
+	x := r.rotated.Row(id)
 	return -2 * vec.Dot64(rq[d:], x[d:]), nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"resinfer/internal/heap"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -35,10 +36,10 @@ type CollectConfig struct {
 	Workers     int
 }
 
-// CollectSamples labels candidates for every training query against data
-// using exact distances. Queries run in parallel.
-func CollectSamples(data, queries [][]float32, cfg CollectConfig) ([]QuerySamples, error) {
-	if len(data) == 0 {
+// CollectSamples labels candidates for every training query against the
+// rows of data using exact distances. Queries run in parallel.
+func CollectSamples(data *store.Matrix, queries [][]float32, cfg CollectConfig) ([]QuerySamples, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ddc: empty data")
 	}
 	if len(queries) == 0 {
@@ -47,8 +48,8 @@ func CollectSamples(data, queries [][]float32, cfg CollectConfig) ([]QuerySample
 	if cfg.K <= 0 {
 		cfg.K = 100
 	}
-	if cfg.K > len(data) {
-		cfg.K = len(data)
+	if cfg.K > data.Rows() {
+		cfg.K = data.Rows()
 	}
 	if cfg.NegPerQuery <= 0 {
 		cfg.NegPerQuery = 100
@@ -68,8 +69,9 @@ func CollectSamples(data, queries [][]float32, cfg CollectConfig) ([]QuerySample
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*104729))
 			q := queries[qi]
 			rq := heap.NewResultQueue(cfg.K)
-			for id, row := range data {
-				d := vec.L2Sq(q, row)
+			flat, dim := data.Flat(), data.Dim()
+			for id := 0; id < data.Rows(); id++ {
+				d := vec.L2SqFlat(q, flat, id*dim)
 				if d < rq.Threshold() {
 					rq.Push(id, d)
 				}
@@ -88,11 +90,11 @@ func CollectSamples(data, queries [][]float32, cfg CollectConfig) ([]QuerySample
 			// random point qualifies, so the attempt cap is generous.
 			negs := 0
 			for attempts := 0; negs < cfg.NegPerQuery && attempts < cfg.NegPerQuery*20; attempts++ {
-				id := rng.Intn(len(data))
+				id := rng.Intn(data.Rows())
 				if _, ok := inKNN[id]; ok {
 					continue
 				}
-				d := vec.L2Sq(q, data[id])
+				d := vec.L2SqFlat(q, flat, id*dim)
 				if d <= tau {
 					continue
 				}

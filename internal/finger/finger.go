@@ -90,7 +90,8 @@ func Build(idx *hnsw.Index, cfg Config) (*Finger, error) {
 		f.rvs[j] = rv
 	}
 	data := idx.Data()
-	for n, row := range data {
+	for n := 0; n < data.Rows(); n++ {
+		row := data.Row(n)
 		f.normSq[n] = vec.NormSq(row)
 		proj := make([]float32, cfg.L)
 		for j, rv := range f.rvs {
@@ -98,13 +99,13 @@ func Build(idx *hnsw.Index, cfg Config) (*Finger, error) {
 		}
 		f.nodeProj[n] = proj
 	}
-	for n := range data {
+	for n := 0; n < data.Rows(); n++ {
 		nbs := idx.Neighbors(int32(n), 0)
 		metas := make([]edgeMeta, len(nbs))
-		c := data[n]
+		c := data.Row(n)
 		cNormSq := f.normSq[n]
 		for i, nb := range nbs {
-			d := data[nb]
+			d := data.Row(int(nb))
 			dcNormSq := vec.L2Sq(c, d)
 			var tD float32
 			if cNormSq > 0 {
@@ -165,14 +166,14 @@ func (f *Finger) Search(q []float32, k, ef int) ([]hnsw.Result, core.Stats, erro
 
 	// Upper layers: exact greedy descent.
 	ep := idx.Entry()
-	curDist := vec.L2Sq(q, data[ep])
+	curDist := vec.L2Sq(q, data.Row(int(ep)))
 	stats.DimsScanned += int64(dim)
 	stats.ExactDistances++
 	for l := idx.MaxLevel(); l > 0; l-- {
 		for {
 			improved := false
 			for _, nb := range idx.Neighbors(ep, l) {
-				d := vec.L2Sq(q, data[nb])
+				d := vec.L2Sq(q, data.Row(int(nb)))
 				stats.DimsScanned += int64(dim)
 				stats.ExactDistances++
 				if d < curDist {
@@ -241,7 +242,7 @@ func (f *Finger) Search(q []float32, k, ef int) ([]hnsw.Result, core.Stats, erro
 				stats.Pruned++
 				continue
 			}
-			d := vec.L2Sq(q, data[nb])
+			d := vec.L2Sq(q, data.Row(int(nb)))
 			stats.DimsScanned += int64(dim)
 			stats.ExactDistances++
 			if !w.Full() || d < w.Threshold() {

@@ -34,7 +34,7 @@ func getFixtures(t testing.TB) (*dataset.Dataset, [][]int, *hnsw.Index) {
 			fixErr = err
 			return
 		}
-		idx, err := hnsw.Build(ds.Data, hnsw.Config{M: 16, EfConstruction: 200, Seed: 3})
+		idx, err := hnsw.Build(ds.Matrix(), hnsw.Config{M: 16, EfConstruction: 200, Seed: 3})
 		if err != nil {
 			fixErr = err
 			return
@@ -91,7 +91,7 @@ func TestSearchRecallCloseToExactHNSW(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Exact HNSW baseline at the same ef.
-	exact, _ := core.NewExact(ds.Data)
+	exact, _ := core.NewExact(ds.Matrix())
 	base := make([][]int, len(ds.Queries))
 	fing := make([][]int, len(ds.Queries))
 	var agg core.Stats

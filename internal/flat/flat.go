@@ -9,9 +9,11 @@ package flat
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"resinfer/internal/core"
 	"resinfer/internal/heap"
+	"resinfer/internal/store"
 )
 
 // Index is a flat index over n points. It stores no per-point state; the
@@ -19,14 +21,17 @@ import (
 type Index struct {
 	size int
 	dim  int
+	// ctxPool recycles per-search result queues so steady-state searches
+	// allocate nothing.
+	ctxPool sync.Pool
 }
 
-// Build creates a flat index over data.
-func Build(data [][]float32) (*Index, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+// Build creates a flat index over the rows of data.
+func Build(data *store.Matrix) (*Index, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("flat: empty data")
 	}
-	return &Index{size: len(data), dim: len(data[0])}, nil
+	return New(data.Rows(), data.Dim())
 }
 
 // New creates a flat index with explicit dimensions (used by Load paths).
@@ -34,7 +39,9 @@ func New(size, dim int) (*Index, error) {
 	if size <= 0 || dim <= 0 {
 		return nil, errors.New("flat: invalid dimensions")
 	}
-	return &Index{size: size, dim: dim}, nil
+	idx := &Index{size: size, dim: dim}
+	idx.ctxPool.New = func() any { return heap.NewResultQueue(16) }
+	return idx, nil
 }
 
 // Result is a search hit.
@@ -54,7 +61,26 @@ func (idx *Index) Search(dco core.DCO, q []float32, k int) ([]Result, core.Stats
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	rq := heap.NewResultQueue(k)
+	out, err := idx.SearchEval(ev, k, dco.Size(), nil)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return out, *ev.Stats(), nil
+}
+
+// SearchEval is the evaluator-driven search path: the caller owns ev
+// (typically pooled and already Reset for this query) and receives the
+// hits appended to dst in ascending distance order. size must be the
+// evaluator's point count; work counters accumulate in ev.Stats().
+func (idx *Index) SearchEval(ev core.QueryEvaluator, k, size int, dst []Result) ([]Result, error) {
+	if size != idx.size {
+		return nil, fmt.Errorf("flat: DCO over %d points, index over %d", size, idx.size)
+	}
+	if k <= 0 {
+		return nil, errors.New("flat: k must be positive")
+	}
+	rq := idx.ctxPool.Get().(*heap.ResultQueue)
+	rq.Reset(k)
 	for id := 0; id < idx.size; id++ {
 		tau := rq.Threshold()
 		d, pruned := ev.Compare(id, tau)
@@ -65,7 +91,9 @@ func (idx *Index) Search(dco core.DCO, q []float32, k int) ([]Result, core.Stats
 			rq.Push(id, d)
 		}
 	}
-	return rq.Sorted(), *ev.Stats(), nil
+	dst = rq.AppendSorted(dst)
+	idx.ctxPool.Put(rq)
+	return dst, nil
 }
 
 // Len returns the number of indexed points.

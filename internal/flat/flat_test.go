@@ -7,6 +7,7 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/dataset"
 	"resinfer/internal/ddc"
+	"resinfer/internal/store"
 )
 
 func TestBuildErrors(t *testing.T) {
@@ -29,11 +30,11 @@ func TestFlatExactEqualsBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := Build(ds.Data)
+	idx, err := Build(ds.Matrix())
 	if err != nil {
 		t.Fatal(err)
 	}
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	for qi, q := range ds.Queries {
 		items, _, err := idx.Search(dco, q, 10)
 		if err != nil {
@@ -58,8 +59,8 @@ func TestFlatWithDDCresNearExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, _ := Build(ds.Data)
-	dco, err := ddc.NewRes(ds.Data, ddc.ResConfig{Seed: 7, InitD: 16, DeltaD: 16})
+	idx, _ := Build(ds.Matrix())
+	dco, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{Seed: 7, InitD: 16, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +87,13 @@ func TestFlatWithDDCresNearExact(t *testing.T) {
 }
 
 func TestFlatErrors(t *testing.T) {
-	data := [][]float32{{1, 2}, {3, 4}}
+	data := store.MustFromRows([][]float32{{1, 2}, {3, 4}})
 	idx, _ := Build(data)
 	dco, _ := core.NewExact(data)
 	if _, _, err := idx.Search(dco, []float32{1, 2}, 0); err == nil {
 		t.Fatal("expected k error")
 	}
-	other, _ := core.NewExact([][]float32{{1, 2}})
+	other, _ := core.NewExact(store.MustFromRows([][]float32{{1, 2}}))
 	if _, _, err := idx.Search(other, []float32{1, 2}, 1); err == nil {
 		t.Fatal("expected size mismatch error")
 	}
@@ -107,8 +108,9 @@ func TestFlatKLargerThanN(t *testing.T) {
 	for i := range data {
 		data[i] = []float32{float32(r.NormFloat64())}
 	}
-	idx, _ := Build(data)
-	dco, _ := core.NewExact(data)
+	mat := store.MustFromRows(data)
+	idx, _ := Build(mat)
+	dco, _ := core.NewExact(mat)
 	items, _, err := idx.Search(dco, []float32{0}, 10)
 	if err != nil {
 		t.Fatal(err)

@@ -185,7 +185,7 @@ func (a *Artifacts) HNSW() (*hnsw.Index, error) {
 		return nil, err
 	}
 	err := a.timed("hnsw", func() error {
-		idx, err := hnsw.Build(a.ds.Data, hnsw.Config{M: 16, EfConstruction: 200, Seed: a.Profile.Seed})
+		idx, err := hnsw.Build(a.ds.Matrix(), hnsw.Config{M: 16, EfConstruction: 200, Seed: a.Profile.Seed})
 		if err != nil {
 			return err
 		}
@@ -209,7 +209,7 @@ func (a *Artifacts) IVF() (*ivf.Index, error) {
 		return nil, err
 	}
 	err := a.timed("ivf", func() error {
-		idx, err := ivf.Build(a.ds.Data, ivf.Config{Seed: a.Profile.Seed})
+		idx, err := ivf.Build(a.ds.Matrix(), ivf.Config{Seed: a.Profile.Seed})
 		if err != nil {
 			return err
 		}
@@ -245,7 +245,7 @@ func (a *Artifacts) DCO(mode string) (core.DCO, error) {
 	switch mode {
 	case ModeExact:
 		if a.exact == nil {
-			e, err := core.NewExact(a.ds.Data)
+			e, err := core.NewExact(a.ds.Matrix())
 			if err != nil {
 				return nil, err
 			}
@@ -255,7 +255,7 @@ func (a *Artifacts) DCO(mode string) (core.DCO, error) {
 	case ModeADS:
 		if a.ads == nil {
 			err := a.timed("ads", func() error {
-				d, err := adsampling.New(a.ds.Data, adsampling.Config{Seed: a.Profile.Seed, DeltaD: 32})
+				d, err := adsampling.New(a.ds.Matrix(), adsampling.Config{Seed: a.Profile.Seed, DeltaD: 32})
 				if err != nil {
 					return err
 				}
@@ -270,7 +270,7 @@ func (a *Artifacts) DCO(mode string) (core.DCO, error) {
 	case ModeRes:
 		if a.res == nil {
 			err := a.timed("res", func() error {
-				d, err := ddc.NewRes(a.ds.Data, ddc.ResConfig{
+				d, err := ddc.NewRes(a.ds.Matrix(), ddc.ResConfig{
 					Seed: a.Profile.Seed, InitD: 32, DeltaD: 32, Multiplier: 3,
 				})
 				if err != nil {
@@ -287,7 +287,7 @@ func (a *Artifacts) DCO(mode string) (core.DCO, error) {
 	case ModePCA:
 		if a.pcadco == nil {
 			err := a.timed("pca", func() error {
-				d, err := ddc.NewPCA(a.ds.Data, a.ds.Train, ddc.PCAConfig{
+				d, err := ddc.NewPCA(a.ds.Matrix(), a.ds.Train, ddc.PCAConfig{
 					Seed:    a.Profile.Seed,
 					Collect: ddc.CollectConfig{K: 100, NegPerQuery: 100},
 				})
@@ -305,7 +305,7 @@ func (a *Artifacts) DCO(mode string) (core.DCO, error) {
 	case ModeOPQ:
 		if a.opqdco == nil {
 			err := a.timed("opq", func() error {
-				d, err := ddc.NewOPQ(a.ds.Data, a.ds.Train, ddc.OPQConfig{
+				d, err := ddc.NewOPQ(a.ds.Matrix(), a.ds.Train, ddc.OPQConfig{
 					OPQIters:  3,
 					OPQSample: 4096,
 					Seed:      a.Profile.Seed,

@@ -13,6 +13,7 @@ import (
 	"resinfer/internal/heap"
 	"resinfer/internal/hnsw"
 	"resinfer/internal/quant"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -385,7 +386,7 @@ func RunExp5(w io.Writer) error {
 	fmt.Fprintln(tw, "n\thnsw\tads\tpca-rotate(res)\topq-train\tddc-pca-train\tddc-opq-train")
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 		sz := int(float64(n) * frac)
-		slice := ds.Data[:sz]
+		slice := store.MustFromRows(ds.Data[:sz])
 		train := ds.Train
 		if len(train) > 400 {
 			train = train[:400]
@@ -540,9 +541,10 @@ func RunExp7(w io.Writer) error {
 			// is what Table III credits for the gap (largest on GLOVE).
 			qNorm := vec.NormSq(rq)
 			norms := res.Norms()
+			rot := res.Rotated()
 			ddcQueue := heap.NewResultQueue(k)
-			for id, x := range res.Rotated() {
-				approx := norms[id] + qNorm - 2*vec.DotRange(rq, x, 0, d)
+			for id := 0; id < rot.Rows(); id++ {
+				approx := norms[id] + qNorm - 2*vec.DotRange(rq, rot.Row(id), 0, d)
 				if approx < ddcQueue.Threshold() {
 					ddcQueue.Push(id, approx)
 				}
@@ -563,10 +565,10 @@ func RunExp7(w io.Writer) error {
 
 // topKByApprox ranks points by prefix distance over the first d rotated
 // coordinates.
-func topKByApprox(rotated [][]float32, rq []float32, d, k int) []int {
+func topKByApprox(rotated *store.Matrix, rq []float32, d, k int) []int {
 	q := heap.NewResultQueue(k)
-	for id, x := range rotated {
-		dist := vec.L2SqRange(rq, x, 0, d)
+	for id := 0; id < rotated.Rows(); id++ {
+		dist := vec.L2SqRange(rq, rotated.Row(id), 0, d)
 		if dist < q.Threshold() {
 			q.Push(id, dist)
 		}

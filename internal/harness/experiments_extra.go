@@ -61,7 +61,7 @@ func RunFig1(w io.Writer) error {
 					return nil, err
 				}
 			} else {
-				x = res.Rotated()[id]
+				x = res.Rotated().Row(id)
 			}
 			d := dim - resDim
 			out = append(out, vec.Dot64(rotQ[d:], x[d:]))
@@ -155,7 +155,7 @@ func RunFig2(w io.Writer) error {
 				sigPredSum += 2 * math.Sqrt(suffix[d])
 				for i := 0; i < 400; i++ {
 					id := rng.Intn(len(ds.Data))
-					x := res.Rotated()[id]
+					x := res.Rotated().Row(id)
 					errsAll = append(errsAll, -2*vec.Dot64(rq[d:], x[d:]))
 				}
 			}
@@ -347,7 +347,7 @@ func RunAblationDeltaD(w io.Writer) error {
 	}
 	var curves []Curve
 	for _, dd := range []int{8, 16, 32, 64, 128} {
-		dco, err := ddc.NewRes(ds.Data, ddc.ResConfig{
+		dco, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{
 			Seed: a.Profile.Seed, InitD: dd, DeltaD: dd, Multiplier: 3,
 		})
 		if err != nil {
@@ -385,7 +385,7 @@ func RunAblationMultiplier(w io.Writer) error {
 	}
 	var curves []Curve
 	for _, m := range []float64{1, 2, 3, 4, 6, 10} {
-		dco, err := ddc.NewRes(ds.Data, ddc.ResConfig{
+		dco, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{
 			Seed: a.Profile.Seed, InitD: 32, DeltaD: 32, Multiplier: m,
 		})
 		if err != nil {
@@ -422,7 +422,7 @@ func RunAblationOPQFeature(w io.Writer) error {
 	}
 	var curves []Curve
 	for _, disable := range []bool{false, true} {
-		dco, err := ddc.NewOPQ(ds.Data, ds.Train, ddc.OPQConfig{
+		dco, err := ddc.NewOPQ(ds.Matrix(), ds.Train, ddc.OPQConfig{
 			OPQIters: 3, OPQSample: 4096, Seed: a.Profile.Seed,
 			DisableResidualFeature: disable,
 			Collect:                ddc.CollectConfig{K: 100, NegPerQuery: 100},

@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"resinfer/internal/core"
+	"resinfer/internal/ddc"
+	"resinfer/internal/flat"
+	"resinfer/internal/heap"
+	"resinfer/internal/hnsw"
+	"resinfer/internal/store"
+	"resinfer/internal/vec"
+)
+
+// KernelsReport is the machine-readable output of `bench -kernels`: the
+// micro-level (distance kernels), meso-level (flat-scan Compare loop,
+// rows layout vs contiguous matrix) and macro-level (end-to-end search
+// QPS, per-query evaluators vs pooled) effects of the contiguous-storage
+// and zero-alloc-search work, measured on this machine.
+type KernelsReport struct {
+	N   int `json:"n"`
+	Dim int `json:"dim"`
+
+	// Distance kernels (ns/op on one Dim-length pair).
+	DotNsOp  float64 `json:"dot_ns_op"`
+	L2SqNsOp float64 `json:"l2sq_ns_op"`
+
+	// Flat-scan Compare loop: one full k-NN scan over all N points
+	// through a result queue (ns per scanned point). "rows_seed" is the
+	// seed configuration (per-row heap slices, 4-way unrolled kernel),
+	// "rows8" isolates the kernel effect (per-row slices, 8-way kernel),
+	// "flat" is the contiguous matrix with the 8-way fused kernels.
+	CompareRowsSeedNsOp float64 `json:"compare_rows_seed_ns_op"`
+	CompareRows8NsOp    float64 `json:"compare_rows8_ns_op"`
+	CompareFlatNsOp     float64 `json:"compare_flat_ns_op"`
+	CompareSpeedup      float64 `json:"compare_speedup"` // rows_seed / flat
+
+	// Steady-state pooled search (flat index, exact mode): allocations
+	// per search and ns per search with a reused evaluator and dst.
+	SearchAllocsOp float64 `json:"search_allocs_op"`
+	SearchNsOp     float64 `json:"search_ns_op"`
+
+	// End-to-end HNSW+DDCres search: fresh evaluator per query (the seed
+	// serving path) vs one pooled evaluator Reset per query.
+	QPSFreshEvaluator float64 `json:"qps_fresh_evaluator"`
+	QPSPooled         float64 `json:"qps_pooled"`
+	QPSSpeedup        float64 `json:"qps_speedup"`
+}
+
+// l2Sq4 is the seed repository's 4-way unrolled kernel, kept verbatim so
+// the before/after comparison measures what the seed actually shipped.
+func l2Sq4(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// shuffledRows allocates one heap object per row in shuffled order —
+// the memory layout a parallel index build leaves behind — then returns
+// them in index order, replicating the seed's [][]float32 data plane.
+func shuffledRows(m *store.Matrix, rng *rand.Rand) [][]float32 {
+	n := m.Rows()
+	rows := make([][]float32, n)
+	for _, i := range rng.Perm(n) {
+		row := make([]float32, m.Dim())
+		copy(row, m.Row(i))
+		rows[i] = row
+	}
+	return rows
+}
+
+// scanRows runs the k-NN Compare loop of the flat index over row slices
+// with the given kernel.
+func scanRows(rows [][]float32, q []float32, k int, kernel func(a, b []float32) float32) []heap.Item {
+	rq := heap.NewResultQueue(k)
+	for id := range rows {
+		d := kernel(q, rows[id])
+		if d < rq.Threshold() {
+			rq.Push(id, d)
+		}
+	}
+	return rq.Sorted()
+}
+
+// RunKernels measures the kernel, layout and pooling effects and writes a
+// human-readable summary to w plus machine-readable JSON to outPath.
+func RunKernels(w io.Writer, outPath string) error {
+	const (
+		n   = 20000
+		dim = 128
+		k   = 10
+	)
+	rep := KernelsReport{N: n, Dim: dim}
+	rng := rand.New(rand.NewSource(42))
+
+	mat, err := store.New(n, dim)
+	if err != nil {
+		return err
+	}
+	buf := mat.Flat()
+	for i := range buf {
+		buf[i] = float32(rng.NormFloat64())
+	}
+	queries := make([][]float32, 64)
+	for i := range queries {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		queries[i] = q
+	}
+	rows := shuffledRows(mat, rng)
+
+	// --- Distance kernels.
+	a, b := queries[0], queries[1]
+	var sink float32
+	dotRes := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			sink += vec.Dot(a, b)
+		}
+	})
+	rep.DotNsOp = float64(dotRes.NsPerOp())
+	l2Res := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			sink += vec.L2Sq(a, b)
+		}
+	})
+	rep.L2SqNsOp = float64(l2Res.NsPerOp())
+
+	// --- Flat-scan Compare loop, rows (seed kernel) vs rows (8-way) vs
+	// contiguous matrix. Costs are reported per scanned point.
+	perPoint := func(r testing.BenchmarkResult) float64 {
+		return float64(r.NsPerOp()) / float64(n)
+	}
+	rowsSeed := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			items := scanRows(rows, queries[i%len(queries)], k, l2Sq4)
+			sink += items[0].Dist
+		}
+	})
+	rep.CompareRowsSeedNsOp = perPoint(rowsSeed)
+	rows8 := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			items := scanRows(rows, queries[i%len(queries)], k, vec.L2Sq)
+			sink += items[0].Dist
+		}
+	})
+	rep.CompareRows8NsOp = perPoint(rows8)
+
+	exact, err := core.NewExact(mat)
+	if err != nil {
+		return err
+	}
+	ev := exact.NewEvaluator()
+	flatScan := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			if err := ev.Reset(queries[i%len(queries)]); err != nil {
+				bm.Fatal(err)
+			}
+			rq := heap.NewResultQueue(k)
+			for id := 0; id < n; id++ {
+				d, _ := ev.Compare(id, rq.Threshold())
+				if d < rq.Threshold() {
+					rq.Push(id, d)
+				}
+			}
+			sink += rq.Threshold()
+		}
+	})
+	rep.CompareFlatNsOp = perPoint(flatScan)
+	if rep.CompareFlatNsOp > 0 {
+		rep.CompareSpeedup = rep.CompareRowsSeedNsOp / rep.CompareFlatNsOp
+	}
+
+	// --- Steady-state pooled search: flat index + exact mode, evaluator
+	// and traversal scratch reused across queries.
+	fl, err := flat.Build(mat)
+	if err != nil {
+		return err
+	}
+	var dst []heap.Item
+	searchRes := testing.Benchmark(func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			if err := ev.Reset(queries[i%len(queries)]); err != nil {
+				bm.Fatal(err)
+			}
+			dst, err = fl.SearchEval(ev, k, n, dst[:0])
+			if err != nil {
+				bm.Fatal(err)
+			}
+			sink += dst[0].Dist
+		}
+	})
+	rep.SearchAllocsOp = float64(searchRes.AllocsPerOp())
+	rep.SearchNsOp = float64(searchRes.NsPerOp())
+
+	// --- End-to-end: HNSW + DDCres, fresh evaluator per query vs pooled.
+	graph, err := hnsw.Build(mat, hnsw.Config{M: 16, EfConstruction: 200, Seed: 1})
+	if err != nil {
+		return err
+	}
+	res, err := ddc.NewRes(mat, ddc.ResConfig{Seed: 1, InitD: 32, DeltaD: 32})
+	if err != nil {
+		return err
+	}
+	const ef = 80
+	fresh := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			items, _, err := graph.Search(res, queries[i%len(queries)], k, ef)
+			if err != nil {
+				bm.Fatal(err)
+			}
+			sink += items[0].Dist
+		}
+	})
+	rep.QPSFreshEvaluator = 1e9 / float64(fresh.NsPerOp())
+	rev := res.NewEvaluator()
+	pooled := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			if err := rev.Reset(queries[i%len(queries)]); err != nil {
+				bm.Fatal(err)
+			}
+			dst, err = graph.SearchEval(rev, k, ef, n, dst[:0])
+			if err != nil {
+				bm.Fatal(err)
+			}
+			sink += dst[0].Dist
+		}
+	})
+	rep.QPSPooled = 1e9 / float64(pooled.NsPerOp())
+	if rep.QPSFreshEvaluator > 0 {
+		rep.QPSSpeedup = rep.QPSPooled / rep.QPSFreshEvaluator
+	}
+	_ = sink
+
+	fmt.Fprintf(w, "== Kernel / layout / pooling benchmarks (n=%d, dim=%d) ==\n", n, dim)
+	fmt.Fprintf(w, "dot: %.1f ns/op   l2sq: %.1f ns/op\n", rep.DotNsOp, rep.L2SqNsOp)
+	fmt.Fprintf(w, "compare loop (ns/point): rows+seed-kernel %.2f   rows+8way %.2f   flat+8way %.2f   speedup %.2fx\n",
+		rep.CompareRowsSeedNsOp, rep.CompareRows8NsOp, rep.CompareFlatNsOp, rep.CompareSpeedup)
+	fmt.Fprintf(w, "steady-state flat search: %.0f allocs/op, %.0f ns/op\n", rep.SearchAllocsOp, rep.SearchNsOp)
+	fmt.Fprintf(w, "hnsw+ddcres: fresh-evaluator %.0f QPS, pooled %.0f QPS (%.2fx)\n",
+		rep.QPSFreshEvaluator, rep.QPSPooled, rep.QPSSpeedup)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(out, '\n'), 0o644)
+}

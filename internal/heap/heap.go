@@ -88,12 +88,36 @@ func (q *ResultQueue) Items() []Item {
 // Sorted drains the queue and returns its contents ordered by ascending
 // distance (the final AKNN answer). The queue is empty afterwards.
 func (q *ResultQueue) Sorted() []Item {
-	out := make([]Item, len(q.items))
-	for i := len(out) - 1; i >= 0; i-- {
+	return q.AppendSorted(make([]Item, 0, len(q.items)))
+}
+
+// AppendSorted drains the queue, appending its contents to dst in
+// ascending distance order, and returns the extended slice. The queue is
+// empty afterwards. With a dst of sufficient capacity this is the
+// allocation-free variant of Sorted.
+func (q *ResultQueue) AppendSorted(dst []Item) []Item {
+	start := len(dst)
+	n := len(q.items)
+	dst = append(dst, q.items[:n]...) // grow by n; values overwritten below
+	for i := n - 1; i >= 0; i-- {
 		item, _ := q.PopMax()
-		out[i] = item
+		dst[start+i] = item
 	}
-	return out
+	return dst
+}
+
+// Reset re-bounds the queue to keep the k closest items and empties it,
+// retaining the backing storage so pooled searches allocate nothing.
+func (q *ResultQueue) Reset(k int) {
+	if k <= 0 {
+		k = 1
+	}
+	q.k = k
+	if cap(q.items) < k {
+		q.items = make([]Item, 0, k)
+	} else {
+		q.items = q.items[:0]
+	}
 }
 
 func (q *ResultQueue) siftUp(i int) {

@@ -15,6 +15,7 @@ import (
 
 	"resinfer/internal/core"
 	"resinfer/internal/heap"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -43,19 +44,42 @@ type Index struct {
 	// links[node][level] holds the node's neighbors at that level;
 	// len(links[node]) == levels(node)+1.
 	links [][][]int32
-	data  [][]float32
+	data  *store.Matrix
+	// ctxPool recycles per-search scratch (epoch-stamped visited marks and
+	// both traversal queues) so steady-state searches allocate nothing.
+	ctxPool sync.Pool
 }
 
-// Build constructs the graph over data using exact distances.
-func Build(data [][]float32, cfg Config) (*Index, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
-		return nil, errors.New("hnsw: empty data")
+// searchCtx is the per-search scratch recycled by ctxPool. The visited
+// array is epoch-stamped: marking is visited[i] = epoch, so consecutive
+// searches skip the O(n) clear.
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+	cands   *heap.MinQueue
+	w       *heap.ResultQueue
+}
+
+func newIndex(dim, m, mMax0, efCon int, entry int32, maxLevel int, links [][][]int32, data *store.Matrix) *Index {
+	idx := &Index{
+		dim: dim, m: m, mMax0: mMax0, efCon: efCon,
+		entry: entry, maxLevel: maxLevel, links: links, data: data,
 	}
-	dim := len(data[0])
-	for _, row := range data {
-		if len(row) != dim {
-			return nil, errors.New("hnsw: ragged data")
+	n := data.Rows()
+	idx.ctxPool.New = func() any {
+		return &searchCtx{
+			visited: make([]uint32, n),
+			cands:   heap.NewMinQueue(64),
+			w:       heap.NewResultQueue(16),
 		}
+	}
+	return idx
+}
+
+// Build constructs the graph over the rows of data using exact distances.
+func Build(data *store.Matrix, cfg Config) (*Index, error) {
+	if data == nil || data.Rows() == 0 {
+		return nil, errors.New("hnsw: empty data")
 	}
 	if cfg.M <= 0 {
 		cfg.M = 16
@@ -69,21 +93,13 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	idx := &Index{
-		dim:      dim,
-		m:        cfg.M,
-		mMax0:    2 * cfg.M,
-		efCon:    cfg.EfConstruction,
-		entry:    0,
-		maxLevel: 0,
-		links:    make([][][]int32, len(data)),
-		data:     data,
-	}
+	n := data.Rows()
+	idx := newIndex(data.Dim(), cfg.M, 2*cfg.M, cfg.EfConstruction, 0, 0, make([][][]int32, n), data)
 	mult := 1 / math.Log(float64(cfg.M))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	// Pre-draw levels so parallel insertion stays deterministic in
 	// structure-independent state.
-	levels := make([]int, len(data))
+	levels := make([]int, n)
 	for i := range levels {
 		levels[i] = int(math.Floor(-math.Log(1-rng.Float64()) * mult))
 	}
@@ -102,7 +118,7 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 			}
 		}()
 	}
-	for i := 1; i < len(data); i++ {
+	for i := 1; i < n; i++ {
 		next <- i
 	}
 	close(next)
@@ -113,14 +129,14 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 // insert wires node i with the given level into the graph. Reads take the
 // RLock; the final wiring takes the write lock.
 func (idx *Index) insert(i, level int, mu *sync.RWMutex) {
-	q := idx.data[i]
+	q := idx.data.Row(i)
 	nodeLinks := make([][]int32, level+1)
 
 	mu.RLock()
 	ep := idx.entry
 	maxL := idx.maxLevel
 	// Greedy descent on the layers above the node's level.
-	curDist := vec.L2Sq(q, idx.data[ep])
+	curDist := vec.L2Sq(q, idx.data.Row(int(ep)))
 	for l := maxL; l > level; l-- {
 		ep, curDist = idx.greedyStep(q, ep, curDist, l)
 	}
@@ -180,7 +196,7 @@ func (idx *Index) greedyStep(q []float32, ep int32, curDist float32, l int) (int
 		improved := false
 		if int(ep) < len(idx.links) && idx.links[ep] != nil && l < len(idx.links[ep]) {
 			for _, nb := range idx.links[ep][l] {
-				d := vec.L2Sq(q, idx.data[nb])
+				d := vec.L2Sq(q, idx.data.Row(int(nb)))
 				if d < curDist {
 					curDist = d
 					ep = nb
@@ -219,7 +235,7 @@ func (idx *Index) searchLayerExact(q []float32, ep int32, epDist float32, l, ef,
 				continue
 			}
 			visited[nb] = struct{}{}
-			d := vec.L2Sq(q, idx.data[nb])
+			d := vec.L2Sq(q, idx.data.Row(int(nb)))
 			if !w.Full() || d < w.Threshold() {
 				cands.Push(int(nb), d)
 				if int(nb) != skip {
@@ -245,7 +261,7 @@ func (idx *Index) selectNeighbors(q []float32, cands []heap.Item, m int) []heap.
 		}
 		good := true
 		for _, s := range selected {
-			if vec.L2Sq(idx.data[c.ID], idx.data[s.ID]) < c.Dist {
+			if vec.L2Sq(idx.data.Row(c.ID), idx.data.Row(s.ID)) < c.Dist {
 				good = false
 				break
 			}
@@ -277,10 +293,10 @@ func (idx *Index) selectNeighbors(q []float32, cands []heap.Item, m int) []heap.
 func (idx *Index) shrink(nb int32, lst []int32, maxConn int) []int32 {
 	cands := make([]heap.Item, 0, len(lst))
 	for _, o := range lst {
-		cands = append(cands, heap.Item{ID: int(o), Dist: vec.L2Sq(idx.data[nb], idx.data[o])})
+		cands = append(cands, heap.Item{ID: int(o), Dist: vec.L2Sq(idx.data.Row(int(nb)), idx.data.Row(int(o)))})
 	}
 	sortItems(cands)
-	sel := idx.selectNeighbors(idx.data[nb], cands, maxConn)
+	sel := idx.selectNeighbors(idx.data.Row(int(nb)), cands, maxConn)
 	out := make([]int32, 0, len(sel))
 	for _, s := range sel {
 		out = append(out, int32(s.ID))
@@ -304,18 +320,36 @@ type Result = heap.Item
 // DCO, with beam width ef (clamped up to k). It also returns the DCO work
 // counters for the query.
 func (idx *Index) Search(dco core.DCO, q []float32, k, ef int) ([]Result, core.Stats, error) {
-	if dco.Size() != len(idx.data) {
-		return nil, core.Stats{}, fmt.Errorf("hnsw: DCO over %d points, index over %d", dco.Size(), len(idx.data))
+	if dco.Size() != idx.data.Rows() {
+		return nil, core.Stats{}, fmt.Errorf("hnsw: DCO over %d points, index over %d", dco.Size(), idx.data.Rows())
 	}
 	if k <= 0 {
 		return nil, core.Stats{}, errors.New("hnsw: k must be positive")
 	}
-	if ef < k {
-		ef = k
-	}
 	ev, err := dco.NewQuery(q)
 	if err != nil {
 		return nil, core.Stats{}, err
+	}
+	out, err := idx.SearchEval(ev, k, ef, dco.Size(), nil)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return out, *ev.Stats(), nil
+}
+
+// SearchEval is the evaluator-driven search path: the caller owns ev
+// (typically pooled and already Reset for this query) and receives the
+// hits appended to dst in ascending distance order. size must be the
+// evaluator's point count; work counters accumulate in ev.Stats().
+func (idx *Index) SearchEval(ev core.QueryEvaluator, k, ef, size int, dst []Result) ([]Result, error) {
+	if size != idx.data.Rows() {
+		return nil, fmt.Errorf("hnsw: DCO over %d points, index over %d", size, idx.data.Rows())
+	}
+	if k <= 0 {
+		return nil, errors.New("hnsw: k must be positive")
+	}
+	if ef < k {
+		ef = k
 	}
 	ep := idx.entry
 	curDist := ev.Distance(int(ep))
@@ -338,10 +372,19 @@ func (idx *Index) Search(dco core.DCO, q []float32, k, ef int) ([]Result, core.S
 	// Layer-0 beam search driven by the DCO: candidates whose corrected
 	// approximate distance already exceeds the beam threshold are pruned
 	// without an exact computation (the refinement loop of §I).
-	visited := make([]bool, len(idx.data))
-	visited[ep] = true
-	cands := heap.NewMinQueue(ef)
-	w := heap.NewResultQueue(ef)
+	ctx := idx.ctxPool.Get().(*searchCtx)
+	ctx.epoch++
+	if ctx.epoch == 0 { // wrapped: clear the stale marks once
+		for i := range ctx.visited {
+			ctx.visited[i] = 0
+		}
+		ctx.epoch = 1
+	}
+	visited, epoch := ctx.visited, ctx.epoch
+	visited[ep] = epoch
+	cands, w := ctx.cands, ctx.w
+	cands.Reset()
+	w.Reset(ef)
 	cands.Push(int(ep), curDist)
 	w.Push(int(ep), curDist)
 	for cands.Len() > 0 {
@@ -350,10 +393,10 @@ func (idx *Index) Search(dco core.DCO, q []float32, k, ef int) ([]Result, core.S
 			break
 		}
 		for _, nb := range idx.links[c.ID][0] {
-			if visited[nb] {
+			if visited[nb] == epoch {
 				continue
 			}
-			visited[nb] = true
+			visited[nb] = epoch
 			d, pruned := ev.Compare(int(nb), w.Threshold())
 			if pruned {
 				continue
@@ -364,18 +407,20 @@ func (idx *Index) Search(dco core.DCO, q []float32, k, ef int) ([]Result, core.S
 			}
 		}
 	}
-	all := w.Sorted()
-	if len(all) > k {
-		all = all[:k]
+	start := len(dst)
+	dst = w.AppendSorted(dst)
+	if len(dst)-start > k {
+		dst = dst[:start+k]
 	}
-	return all, *ev.Stats(), nil
+	idx.ctxPool.Put(ctx)
+	return dst, nil
 }
 
 // Dim returns the indexed dimensionality.
 func (idx *Index) Dim() int { return idx.dim }
 
 // Len returns the number of indexed points.
-func (idx *Index) Len() int { return len(idx.data) }
+func (idx *Index) Len() int { return idx.data.Rows() }
 
 // MaxLevel returns the top layer of the graph.
 func (idx *Index) MaxLevel() int { return idx.maxLevel }
@@ -394,7 +439,7 @@ func (idx *Index) Neighbors(node int32, level int) []int32 {
 }
 
 // Data returns the indexed vectors (read-only by convention).
-func (idx *Index) Data() [][]float32 { return idx.data }
+func (idx *Index) Data() *store.Matrix { return idx.data }
 
 // GraphBytes reports the memory consumed by adjacency lists (Exp-3's index
 // space accounting).

@@ -8,6 +8,7 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/dataset"
 	"resinfer/internal/ddc"
+	"resinfer/internal/store"
 )
 
 // Shared fixtures: one calibrated dataset, its ground truth, and one built
@@ -35,7 +36,7 @@ func getFixtures(t testing.TB) (*dataset.Dataset, [][]int, *Index) {
 			fixErr = err
 			return
 		}
-		idx, err := Build(ds.Data, Config{M: 16, EfConstruction: 200, Seed: 5})
+		idx, err := Build(ds.Matrix(), Config{M: 16, EfConstruction: 200, Seed: 5})
 		if err != nil {
 			fixErr = err
 			return
@@ -68,22 +69,22 @@ func TestBuildErrors(t *testing.T) {
 	if _, err := Build(nil, Config{}); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if _, err := Build([][]float32{{1, 2}, {3}}, Config{}); err == nil {
+	if _, err := store.FromRows([][]float32{{1, 2}, {3}}); err == nil {
 		t.Fatal("expected ragged error")
 	}
 }
 
 func TestSearchErrors(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, err := Build(ds.Data[:100], Config{M: 8, EfConstruction: 32, Seed: 1})
+	idx, err := Build(store.MustFromRows(ds.Data[:100]), Config{M: 8, EfConstruction: 32, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dco, _ := core.NewExact(ds.Data[:100])
+	dco, _ := core.NewExact(store.MustFromRows(ds.Data[:100]))
 	if _, _, err := idx.Search(dco, ds.Queries[0], 0, 10); err == nil {
 		t.Fatal("expected k error")
 	}
-	smaller, _ := core.NewExact(ds.Data[:50])
+	smaller, _ := core.NewExact(store.MustFromRows(ds.Data[:50]))
 	if _, _, err := idx.Search(smaller, ds.Queries[0], 5, 10); err == nil {
 		t.Fatal("expected size mismatch error")
 	}
@@ -91,7 +92,7 @@ func TestSearchErrors(t *testing.T) {
 
 func TestSearchHighRecallExact(t *testing.T) {
 	ds, gt, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	results, _ := searchAll(t, idx, dco, ds.Queries, 10, 100)
 	if r := dataset.Recall(results, gt, 10); r < 0.95 {
 		t.Fatalf("exact-HNSW recall@10 = %v, want >= 0.95", r)
@@ -100,7 +101,7 @@ func TestSearchHighRecallExact(t *testing.T) {
 
 func TestSearchResultsSorted(t *testing.T) {
 	ds, _, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	items, _, err := idx.Search(dco, ds.Queries[0], 10, 50)
 	if err != nil {
 		t.Fatal(err)
@@ -121,11 +122,11 @@ func TestSearchResultsSorted(t *testing.T) {
 // Theorem 1 made operational (Exp-6).
 func TestDDCresBeatsADSamplingScanRate(t *testing.T) {
 	ds, gt, idx := getFixtures(t)
-	ads, err := adsampling.New(ds.Data, adsampling.Config{Seed: 3, DeltaD: 16})
+	ads, err := adsampling.New(ds.Matrix(), adsampling.Config{Seed: 3, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ddc.NewRes(ds.Data, ddc.ResConfig{Seed: 4, InitD: 16, DeltaD: 16})
+	res, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{Seed: 4, InitD: 16, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestDDCresBeatsADSamplingScanRate(t *testing.T) {
 
 func TestGraphInvariants(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, _ := Build(ds.Data[:1000], Config{M: 8, EfConstruction: 64, Seed: 7})
+	idx, _ := Build(store.MustFromRows(ds.Data[:1000]), Config{M: 8, EfConstruction: 64, Seed: 7})
 	if idx.Len() != 1000 || idx.Dim() != 128 {
 		t.Fatal("metadata")
 	}
@@ -192,7 +193,7 @@ func TestGraphInvariants(t *testing.T) {
 
 func TestLayer0Connectivity(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, _ := Build(ds.Data[:2000], Config{M: 8, EfConstruction: 64, Seed: 9})
+	idx, _ := Build(store.MustFromRows(ds.Data[:2000]), Config{M: 8, EfConstruction: 64, Seed: 9})
 	seen := make([]bool, 2000)
 	queue := []int32{idx.Entry()}
 	seen[idx.Entry()] = true
@@ -215,11 +216,11 @@ func TestLayer0Connectivity(t *testing.T) {
 
 func TestBuildSingleWorkerDeterministic(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	a, err := Build(ds.Data[:500], Config{M: 8, EfConstruction: 50, Seed: 3, Workers: 1})
+	a, err := Build(store.MustFromRows(ds.Data[:500]), Config{M: 8, EfConstruction: 50, Seed: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(ds.Data[:500], Config{M: 8, EfConstruction: 50, Seed: 3, Workers: 1})
+	b, err := Build(store.MustFromRows(ds.Data[:500]), Config{M: 8, EfConstruction: 50, Seed: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,8 +239,8 @@ func TestBuildSingleWorkerDeterministic(t *testing.T) {
 
 func TestSearchEfClampedToK(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, _ := Build(ds.Data[:300], Config{M: 8, EfConstruction: 32, Seed: 1})
-	dco, _ := core.NewExact(ds.Data[:300])
+	idx, _ := Build(store.MustFromRows(ds.Data[:300]), Config{M: 8, EfConstruction: 32, Seed: 1})
+	dco, _ := core.NewExact(store.MustFromRows(ds.Data[:300]))
 	items, _, err := idx.Search(dco, ds.Queries[0], 20, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -5,9 +5,11 @@ import (
 	"io"
 
 	"resinfer/internal/persist"
+	"resinfer/internal/store"
 )
 
-const indexMagic = "RIHNSW1"
+// Version 2 stores the vectors as one flat matrix block.
+const indexMagic = "RIHNSW2"
 
 // Encode writes the index (graph structure and vectors) onto an existing
 // persist stream, so it can be composed into larger files.
@@ -26,20 +28,18 @@ func (idx *Index) Encode(pw *persist.Writer) {
 			pw.I32s(lst)
 		}
 	}
-	pw.F32Mat(idx.data)
+	idx.data.Encode(pw)
 }
 
 // Decode reads an index previously written by Encode.
 func Decode(pr *persist.Reader) (*Index, error) {
 	pr.Magic(indexMagic)
-	idx := &Index{
-		dim:      pr.Int(),
-		m:        pr.Int(),
-		mMax0:    pr.Int(),
-		efCon:    pr.Int(),
-		entry:    int32(pr.I64()),
-		maxLevel: pr.Int(),
-	}
+	dim := pr.Int()
+	m := pr.Int()
+	mMax0 := pr.Int()
+	efCon := pr.Int()
+	entry := int32(pr.I64())
+	maxLevel := pr.Int()
 	n := pr.Int()
 	if err := pr.Err(); err != nil {
 		return nil, err
@@ -47,7 +47,7 @@ func Decode(pr *persist.Reader) (*Index, error) {
 	if n <= 0 || n > persist.MaxSliceLen {
 		return nil, errors.New("hnsw: corrupt node count")
 	}
-	idx.links = make([][][]int32, n)
+	links := make([][][]int32, n)
 	for i := 0; i < n; i++ {
 		levels := pr.Int()
 		if pr.Err() != nil {
@@ -56,19 +56,22 @@ func Decode(pr *persist.Reader) (*Index, error) {
 		if levels < 0 || levels > 64 {
 			return nil, errors.New("hnsw: corrupt level count")
 		}
-		idx.links[i] = make([][]int32, levels)
+		links[i] = make([][]int32, levels)
 		for l := 0; l < levels; l++ {
-			idx.links[i][l] = pr.I32s()
+			links[i][l] = pr.I32s()
 		}
 	}
-	idx.data = pr.F32Mat()
+	data, err := store.Decode(pr)
+	if err != nil {
+		return nil, err
+	}
 	if err := pr.Err(); err != nil {
 		return nil, err
 	}
-	if len(idx.data) != n || idx.dim <= 0 || int(idx.entry) >= n || idx.entry < 0 {
+	if data.Rows() != n || dim <= 0 || data.Dim() != dim || int(entry) >= n || entry < 0 {
 		return nil, errors.New("hnsw: corrupt index")
 	}
-	for node, perLevel := range idx.links {
+	for node, perLevel := range links {
 		for _, lst := range perLevel {
 			for _, nb := range lst {
 				if nb < 0 || int(nb) >= n || int(nb) == node {
@@ -77,7 +80,7 @@ func Decode(pr *persist.Reader) (*Index, error) {
 			}
 		}
 	}
-	return idx, nil
+	return newIndex(dim, m, mMax0, efCon, entry, maxLevel, links, data), nil
 }
 
 // WriteTo serializes the index to w as a standalone stream.

@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"resinfer/internal/core"
+	"resinfer/internal/store"
 )
 
 func TestIndexRoundTrip(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, err := Build(ds.Data[:800], Config{M: 8, EfConstruction: 50, Seed: 51})
+	idx, err := Build(store.MustFromRows(ds.Data[:800]), Config{M: 8, EfConstruction: 50, Seed: 51})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestIndexRoundTrip(t *testing.T) {
 		t.Fatal("metadata lost")
 	}
 	// Identical searches.
-	dco, _ := core.NewExact(ds.Data[:800])
+	dco, _ := core.NewExact(store.MustFromRows(ds.Data[:800]))
 	a, _, err := idx.Search(dco, ds.Queries[0], 10, 40)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +45,7 @@ func TestIndexRoundTrip(t *testing.T) {
 
 func TestIndexReadRejectsCorruption(t *testing.T) {
 	ds, _, _ := getFixtures(t)
-	idx, _ := Build(ds.Data[:200], Config{M: 8, EfConstruction: 40, Seed: 53})
+	idx, _ := Build(store.MustFromRows(ds.Data[:200]), Config{M: 8, EfConstruction: 40, Seed: 53})
 	var buf bytes.Buffer
 	if _, err := idx.WriteTo(&buf); err != nil {
 		t.Fatal(err)

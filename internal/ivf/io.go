@@ -5,9 +5,11 @@ import (
 	"io"
 
 	"resinfer/internal/persist"
+	"resinfer/internal/store"
 )
 
-const indexMagic = "RIIVF1"
+// Version 2 stores the centroids as one flat matrix block.
+const indexMagic = "RIIVF2"
 
 // Encode writes the index (centroids and inverted lists) onto an existing
 // persist stream. The base vectors live in the DCO, not the IVF index, and
@@ -16,7 +18,7 @@ func (idx *Index) Encode(pw *persist.Writer) {
 	pw.Magic(indexMagic)
 	pw.Int(idx.dim)
 	pw.Int(idx.size)
-	pw.F32Mat(idx.centroids)
+	idx.centroids.Encode(pw)
 	pw.Int(len(idx.lists))
 	for _, lst := range idx.lists {
 		pw.I32s(lst)
@@ -26,10 +28,14 @@ func (idx *Index) Encode(pw *persist.Writer) {
 // Decode reads an index previously written by Encode.
 func Decode(pr *persist.Reader) (*Index, error) {
 	pr.Magic(indexMagic)
-	idx := &Index{
-		dim:       pr.Int(),
-		size:      pr.Int(),
-		centroids: pr.F32Mat(),
+	dim := pr.Int()
+	size := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	centroids, err := store.Decode(pr)
+	if err != nil {
+		return nil, err
 	}
 	nl := pr.Int()
 	if err := pr.Err(); err != nil {
@@ -38,26 +44,26 @@ func Decode(pr *persist.Reader) (*Index, error) {
 	if nl <= 0 || nl > persist.MaxSliceLen {
 		return nil, errors.New("ivf: corrupt list count")
 	}
-	idx.lists = make([][]int32, nl)
+	lists := make([][]int32, nl)
 	total := 0
-	for i := range idx.lists {
-		idx.lists[i] = pr.I32s()
-		total += len(idx.lists[i])
+	for i := range lists {
+		lists[i] = pr.I32s()
+		total += len(lists[i])
 	}
 	if err := pr.Err(); err != nil {
 		return nil, err
 	}
-	if idx.dim <= 0 || len(idx.centroids) != nl || total != idx.size {
+	if dim <= 0 || centroids.Rows() != nl || centroids.Dim() != dim || total != size {
 		return nil, errors.New("ivf: corrupt index")
 	}
-	for _, lst := range idx.lists {
+	for _, lst := range lists {
 		for _, id := range lst {
-			if id < 0 || int(id) >= idx.size {
+			if id < 0 || int(id) >= size {
 				return nil, errors.New("ivf: corrupt list entry")
 			}
 		}
 	}
-	return idx, nil
+	return newIndex(dim, centroids, lists, size), nil
 }
 
 // WriteTo serializes the index to w as a standalone stream.

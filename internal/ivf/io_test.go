@@ -20,7 +20,7 @@ func TestIndexRoundTrip(t *testing.T) {
 	if loaded.Len() != idx.Len() || loaded.NList() != idx.NList() || loaded.Dim() != idx.Dim() {
 		t.Fatal("metadata lost")
 	}
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	a, _, err := idx.Search(dco, ds.Queries[0], 10, 8)
 	if err != nil {
 		t.Fatal(err)

@@ -7,10 +7,12 @@ package ivf
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"resinfer/internal/core"
 	"resinfer/internal/heap"
 	"resinfer/internal/kmeans"
+	"resinfer/internal/store"
 )
 
 // Config controls index construction.
@@ -27,24 +29,35 @@ type Config struct {
 // Index is a built IVF index. Search is safe for concurrent use.
 type Index struct {
 	dim       int
-	centroids [][]float32
+	centroids *store.Matrix
 	lists     [][]int32
 	size      int
+	// ctxPool recycles per-search scratch (result queue, probe order,
+	// centroid distances) so steady-state searches allocate nothing.
+	ctxPool sync.Pool
 }
 
-// Build clusters data into cfg.NList inverted lists.
-func Build(data [][]float32, cfg Config) (*Index, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+// searchCtx is the per-search scratch recycled by ctxPool.
+type searchCtx struct {
+	rq     *heap.ResultQueue
+	probes []int
+	cdists []float32
+}
+
+// Build clusters the rows of data into cfg.NList inverted lists.
+func Build(data *store.Matrix, cfg Config) (*Index, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("ivf: empty data")
 	}
+	n := data.Rows()
 	if cfg.NList <= 0 {
 		cfg.NList = 16
-		for cfg.NList*cfg.NList < len(data) {
+		for cfg.NList*cfg.NList < n {
 			cfg.NList *= 2
 		}
 	}
-	if cfg.NList > len(data) {
-		cfg.NList = len(data)
+	if cfg.NList > n {
+		cfg.NList = n
 	}
 	res, err := kmeans.Train(data, kmeans.Config{
 		K:        cfg.NList,
@@ -55,16 +68,19 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ivf: clustering: %w", err)
 	}
-	idx := &Index{
-		dim:       len(data[0]),
-		centroids: res.Centroids,
-		lists:     make([][]int32, cfg.NList),
-		size:      len(data),
-	}
+	idx := newIndex(data.Dim(), res.Centroids, make([][]int32, cfg.NList), n)
 	for i, c := range res.Assign {
 		idx.lists[c] = append(idx.lists[c], int32(i))
 	}
 	return idx, nil
+}
+
+func newIndex(dim int, centroids *store.Matrix, lists [][]int32, size int) *Index {
+	idx := &Index{dim: dim, centroids: centroids, lists: lists, size: size}
+	idx.ctxPool.New = func() any {
+		return &searchCtx{rq: heap.NewResultQueue(16)}
+	}
+	return idx
 }
 
 // Result is a search hit.
@@ -80,16 +96,37 @@ func (idx *Index) Search(dco core.DCO, q []float32, k, nprobe int) ([]Result, co
 	if k <= 0 {
 		return nil, core.Stats{}, errors.New("ivf: k must be positive")
 	}
-	if nprobe <= 0 {
-		nprobe = 1
-	}
 	ev, err := dco.NewQuery(q)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	probes := kmeans.NearestCentroids(idx.centroids, q, nprobe)
-	rq := heap.NewResultQueue(k)
-	for _, c := range probes {
+	out, err := idx.SearchEval(ev, q, k, nprobe, dco.Size(), nil)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return out, *ev.Stats(), nil
+}
+
+// SearchEval is the evaluator-driven search path: the caller owns ev
+// (typically pooled and already Reset for this query) and receives the
+// hits appended to dst in ascending distance order. q is the query in the
+// index's space (it drives centroid probing); size must be the
+// evaluator's point count; work counters accumulate in ev.Stats().
+func (idx *Index) SearchEval(ev core.QueryEvaluator, q []float32, k, nprobe, size int, dst []Result) ([]Result, error) {
+	if size != idx.size {
+		return nil, fmt.Errorf("ivf: DCO over %d points, index over %d", size, idx.size)
+	}
+	if k <= 0 {
+		return nil, errors.New("ivf: k must be positive")
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	ctx := idx.ctxPool.Get().(*searchCtx)
+	ctx.probes, ctx.cdists = kmeans.NearestCentroidsInto(idx.centroids, q, nprobe, ctx.probes, ctx.cdists)
+	rq := ctx.rq
+	rq.Reset(k)
+	for _, c := range ctx.probes {
 		for _, id := range idx.lists[c] {
 			tau := rq.Threshold()
 			d, pruned := ev.Compare(int(id), tau)
@@ -101,7 +138,9 @@ func (idx *Index) Search(dco core.DCO, q []float32, k, nprobe int) ([]Result, co
 			}
 		}
 	}
-	return rq.Sorted(), *ev.Stats(), nil
+	dst = rq.AppendSorted(dst)
+	idx.ctxPool.Put(ctx)
+	return dst, nil
 }
 
 // Dim returns the indexed dimensionality.
@@ -114,7 +153,7 @@ func (idx *Index) Len() int { return idx.size }
 func (idx *Index) NList() int { return len(idx.lists) }
 
 // Centroids exposes the coarse quantizer (read-only by convention).
-func (idx *Index) Centroids() [][]float32 { return idx.centroids }
+func (idx *Index) Centroids() *store.Matrix { return idx.centroids }
 
 // List returns inverted list c (read-only by convention).
 func (idx *Index) List(c int) []int32 { return idx.lists[c] }
@@ -122,7 +161,7 @@ func (idx *Index) List(c int) []int32 { return idx.lists[c] }
 // IndexBytes reports the memory held by centroids and lists (Exp-3's space
 // accounting).
 func (idx *Index) IndexBytes() int64 {
-	total := int64(len(idx.centroids)) * int64(idx.dim) * 4
+	total := idx.centroids.Bytes()
 	for _, l := range idx.lists {
 		total += int64(len(l)) * 4
 	}

@@ -8,6 +8,7 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/dataset"
 	"resinfer/internal/ddc"
+	"resinfer/internal/store"
 )
 
 var (
@@ -33,7 +34,7 @@ func getFixtures(t testing.TB) (*dataset.Dataset, [][]int, *Index) {
 			fixErr = err
 			return
 		}
-		idx, err := Build(ds.Data, Config{Seed: 11})
+		idx, err := Build(ds.Matrix(), Config{Seed: 11})
 		if err != nil {
 			fixErr = err
 			return
@@ -80,11 +81,11 @@ func TestListsPartitionData(t *testing.T) {
 
 func TestSearchErrors(t *testing.T) {
 	ds, _, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	if _, _, err := idx.Search(dco, ds.Queries[0], 0, 4); err == nil {
 		t.Fatal("expected k error")
 	}
-	smaller, _ := core.NewExact(ds.Data[:10])
+	smaller, _ := core.NewExact(store.MustFromRows(ds.Data[:10]))
 	if _, _, err := idx.Search(smaller, ds.Queries[0], 5, 4); err == nil {
 		t.Fatal("expected size mismatch error")
 	}
@@ -93,7 +94,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearchFullProbeIsExact(t *testing.T) {
 	// Probing every list is a brute-force scan: recall must be 1.
 	ds, gt, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	results := make([][]int, len(ds.Queries))
 	for qi, q := range ds.Queries {
 		items, _, err := idx.Search(dco, q, 10, idx.NList())
@@ -111,7 +112,7 @@ func TestSearchFullProbeIsExact(t *testing.T) {
 
 func TestRecallGrowsWithNProbe(t *testing.T) {
 	ds, gt, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	recallAt := func(nprobe int) float64 {
 		results := make([][]int, len(ds.Queries))
 		for qi, q := range ds.Queries {
@@ -136,18 +137,18 @@ func TestRecallGrowsWithNProbe(t *testing.T) {
 
 func TestSearchWithDCOsPreservesRecall(t *testing.T) {
 	ds, gt, idx := getFixtures(t)
-	ads, err := adsampling.New(ds.Data, adsampling.Config{Seed: 1, DeltaD: 16})
+	ads, err := adsampling.New(ds.Matrix(), adsampling.Config{Seed: 1, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ddc.NewRes(ds.Data, ddc.ResConfig{Seed: 2, InitD: 16, DeltaD: 16})
+	res, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{Seed: 2, InitD: 16, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Baseline: exact DCO at the same nprobe. Approximate DCOs may lose
 	// only a sliver of recall relative to it (the probing, not the DCO,
 	// caps recall at a fixed nprobe).
-	exact, _ := core.NewExact(ds.Data)
+	exact, _ := core.NewExact(ds.Matrix())
 	run := func(dco core.DCO) (float64, core.Stats) {
 		var agg core.Stats
 		results := make([][]int, len(ds.Queries))
@@ -180,7 +181,7 @@ func TestSearchWithDCOsPreservesRecall(t *testing.T) {
 // 96%+).
 func TestIVFPrunedRateHigh(t *testing.T) {
 	ds, _, idx := getFixtures(t)
-	res, err := ddc.NewRes(ds.Data, ddc.ResConfig{Seed: 2, InitD: 16, DeltaD: 16})
+	res, err := ddc.NewRes(ds.Matrix(), ddc.ResConfig{Seed: 2, InitD: 16, DeltaD: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestIndexBytesPositive(t *testing.T) {
 
 func TestNProbeClamp(t *testing.T) {
 	ds, _, idx := getFixtures(t)
-	dco, _ := core.NewExact(ds.Data)
+	dco, _ := core.NewExact(ds.Matrix())
 	// nprobe <= 0 clamps to 1; larger than NList clamps to NList.
 	if _, _, err := idx.Search(dco, ds.Queries[0], 5, 0); err != nil {
 		t.Fatal(err)

@@ -1,7 +1,8 @@
 // Package kmeans implements Lloyd's algorithm with k-means++ seeding and
 // parallel assignment. It is the clustering substrate shared by the IVF
 // coarse quantizer (§II-A of the paper) and the per-subspace codebook
-// training of product quantization (§V-B).
+// training of product quantization (§V-B). Points and centroids live in
+// flat row-major matrices so the assignment step streams contiguously.
 package kmeans
 
 import (
@@ -11,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -29,28 +31,23 @@ type Config struct {
 
 // Result holds a trained clustering.
 type Result struct {
-	Centroids  [][]float32 // K rows of dimension D
-	Assign     []int       // len(data); cluster index per point
-	Sizes      []int       // points per cluster
-	Iterations int         // Lloyd iterations actually run
-	Inertia    float64     // final sum of squared distances to centroids
+	Centroids  *store.Matrix // K rows of dimension D
+	Assign     []int         // len(data); cluster index per point
+	Sizes      []int         // points per cluster
+	Iterations int           // Lloyd iterations actually run
+	Inertia    float64       // final sum of squared distances to centroids
 }
 
-// Train clusters data (n rows, equal dimension) into cfg.K clusters.
-func Train(data [][]float32, cfg Config) (*Result, error) {
-	if len(data) == 0 {
+// Train clusters the rows of data into cfg.K clusters.
+func Train(data *store.Matrix, cfg Config) (*Result, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("kmeans: empty data")
 	}
-	d := len(data[0])
-	for _, row := range data {
-		if len(row) != d {
-			return nil, errors.New("kmeans: ragged data")
-		}
-	}
+	n, d := data.Rows(), data.Dim()
 	if cfg.K < 1 {
 		return nil, errors.New("kmeans: K must be >= 1")
 	}
-	if cfg.K > len(data) {
+	if cfg.K > n {
 		return nil, errors.New("kmeans: K exceeds number of points")
 	}
 	if cfg.MaxIters <= 0 {
@@ -65,10 +62,10 @@ func Train(data [][]float32, cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	centroids := seedPlusPlus(data, cfg.K, rng)
-	assign := make([]int, len(data))
+	assign := make([]int, n)
 	res := &Result{Centroids: centroids, Assign: assign, Sizes: make([]int, cfg.K)}
 
-	dists := make([]float32, len(data))
+	dists := make([]float32, n)
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		res.Iterations = iter + 1
 		assignParallel(data, centroids, assign, dists, cfg.Workers)
@@ -79,21 +76,22 @@ func Train(data [][]float32, cfg Config) (*Result, error) {
 			sums[k] = make([]float64, d)
 		}
 		counts := make([]int, cfg.K)
-		for i, row := range data {
+		for i := 0; i < n; i++ {
 			k := assign[i]
 			counts[k]++
 			s := sums[k]
-			for j, v := range row {
+			for j, v := range data.Row(i) {
 				s[j] += float64(v)
 			}
 		}
 		maxShift := 0.0
 		for k := 0; k < cfg.K; k++ {
+			crow := centroids.Row(k)
 			if counts[k] == 0 {
 				// Empty cluster: reseed at the point currently farthest
 				// from its centroid, the standard repair.
 				far := farthestPoint(dists)
-				copy32(centroids[k], data[far])
+				copy(crow, data.Row(far))
 				counts[k] = 1
 				continue
 			}
@@ -101,9 +99,9 @@ func Train(data [][]float32, cfg Config) (*Result, error) {
 			var shift float64
 			for j := 0; j < d; j++ {
 				nv := float32(sums[k][j] * inv)
-				dv := float64(nv - centroids[k][j])
+				dv := float64(nv - crow[j])
 				shift += dv * dv
-				centroids[k][j] = nv
+				crow[j] = nv
 			}
 			if shift > maxShift {
 				maxShift = shift
@@ -120,7 +118,7 @@ func Train(data [][]float32, cfg Config) (*Result, error) {
 		res.Sizes[k] = 0
 	}
 	var inertia float64
-	for i := range data {
+	for i := 0; i < n; i++ {
 		res.Sizes[assign[i]]++
 		inertia += float64(dists[i])
 	}
@@ -130,7 +128,21 @@ func Train(data [][]float32, cfg Config) (*Result, error) {
 
 // NearestCentroid returns the index of the centroid closest to x and the
 // squared distance to it.
-func NearestCentroid(centroids [][]float32, x []float32) (int, float32) {
+func NearestCentroid(centroids *store.Matrix, x []float32) (int, float32) {
+	best, bestD := 0, float32(math.Inf(1))
+	flat := centroids.Flat()
+	for k, off := 0, 0; k < centroids.Rows(); k, off = k+1, off+centroids.Dim() {
+		d := vec.L2SqFlat(x, flat, off)
+		if d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best, bestD
+}
+
+// NearestCentroidRows is NearestCentroid over row slices — used where
+// centroids live in per-subspace codebooks rather than one matrix.
+func NearestCentroidRows(centroids [][]float32, x []float32) (int, float32) {
 	best, bestD := 0, float32(math.Inf(1))
 	for k, c := range centroids {
 		d := vec.L2Sq(x, c)
@@ -143,57 +155,87 @@ func NearestCentroid(centroids [][]float32, x []float32) (int, float32) {
 
 // NearestCentroids returns the indices of the nprobe closest centroids to
 // x, ordered by ascending distance. This is the IVF probe-selection step.
-func NearestCentroids(centroids [][]float32, x []float32, nprobe int) []int {
-	if nprobe > len(centroids) {
-		nprobe = len(centroids)
-	}
-	type kd struct {
-		k int
-		d float32
-	}
-	all := make([]kd, len(centroids))
-	for k, c := range centroids {
-		all[k] = kd{k, vec.L2Sq(x, c)}
-	}
-	// Partial selection sort is fine: nprobe << K in practice.
-	out := make([]int, 0, nprobe)
-	for i := 0; i < nprobe; i++ {
-		best := i
-		for j := i + 1; j < len(all); j++ {
-			if all[j].d < all[best].d {
-				best = j
-			}
-		}
-		all[i], all[best] = all[best], all[i]
-		out = append(out, all[i].k)
-	}
+func NearestCentroids(centroids *store.Matrix, x []float32, nprobe int) []int {
+	out, _ := NearestCentroidsInto(centroids, x, nprobe, nil, nil)
 	return out
 }
 
-func seedPlusPlus(data [][]float32, k int, rng *rand.Rand) [][]float32 {
-	d := len(data[0])
-	centroids := make([][]float32, k)
-	for i := range centroids {
-		centroids[i] = make([]float32, d)
+// NearestCentroidsInto is NearestCentroids with caller-provided scratch:
+// out receives the probe order (appended to out[:0]), dists is a
+// len-K distance scratch grown as needed. Both scratches are returned for
+// reuse. Allocation-free once the scratches have reached capacity.
+func NearestCentroidsInto(centroids *store.Matrix, x []float32, nprobe int, out []int, dists []float32) ([]int, []float32) {
+	k := centroids.Rows()
+	if nprobe > k {
+		nprobe = k
 	}
-	first := rng.Intn(len(data))
-	copy32(centroids[0], data[first])
+	if cap(dists) < k {
+		dists = make([]float32, k)
+	}
+	dists = dists[:k]
+	flat := centroids.Flat()
+	for c, off := 0, 0; c < k; c, off = c+1, off+centroids.Dim() {
+		dists[c] = vec.L2SqFlat(x, flat, off)
+	}
+	out = out[:0]
+	// Partial selection over a scratch permutation is overkill: nprobe << K
+	// in practice, so select the next-best centroid nprobe times, marking
+	// consumed entries with +Inf.
+	for i := 0; i < nprobe; i++ {
+		best, bestD := -1, float32(math.Inf(1))
+		for c, d := range dists {
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best < 0 {
+			// Every remaining distance is +Inf or NaN (overflowed query or
+			// consumed entry): fall back to the lowest centroid not yet
+			// chosen so the probe list stays valid.
+			for c := range dists {
+				taken := false
+				for _, o := range out {
+					if o == c {
+						taken = true
+						break
+					}
+				}
+				if !taken {
+					best = c
+					break
+				}
+			}
+		}
+		out = append(out, best)
+		dists[best] = float32(math.Inf(1))
+	}
+	return out, dists
+}
+
+func seedPlusPlus(data *store.Matrix, k int, rng *rand.Rand) *store.Matrix {
+	n := data.Rows()
+	centroids, err := store.New(k, data.Dim())
+	if err != nil {
+		panic(err) // unreachable: shape validated by Train
+	}
+	first := rng.Intn(n)
+	copy(centroids.Row(0), data.Row(first))
 
 	// minDist[i] = squared distance from data[i] to nearest chosen centroid.
-	minDist := make([]float64, len(data))
+	minDist := make([]float64, n)
 	total := 0.0
-	for i, row := range data {
-		minDist[i] = float64(vec.L2Sq(row, centroids[0]))
+	for i := 0; i < n; i++ {
+		minDist[i] = float64(vec.L2Sq(data.Row(i), centroids.Row(0)))
 		total += minDist[i]
 	}
 	for c := 1; c < k; c++ {
 		var chosen int
 		if total <= 0 {
-			chosen = rng.Intn(len(data))
+			chosen = rng.Intn(n)
 		} else {
 			target := rng.Float64() * total
 			acc := 0.0
-			chosen = len(data) - 1
+			chosen = n - 1
 			for i, w := range minDist {
 				acc += w
 				if acc >= target {
@@ -202,13 +244,13 @@ func seedPlusPlus(data [][]float32, k int, rng *rand.Rand) [][]float32 {
 				}
 			}
 		}
-		copy32(centroids[c], data[chosen])
+		copy(centroids.Row(c), data.Row(chosen))
 		if c == k-1 {
 			break
 		}
 		total = 0
-		for i, row := range data {
-			nd := float64(vec.L2Sq(row, centroids[c]))
+		for i := 0; i < n; i++ {
+			nd := float64(vec.L2Sq(data.Row(i), centroids.Row(c)))
 			if nd < minDist[i] {
 				minDist[i] = nd
 			}
@@ -218,23 +260,24 @@ func seedPlusPlus(data [][]float32, k int, rng *rand.Rand) [][]float32 {
 	return centroids
 }
 
-func assignParallel(data, centroids [][]float32, assign []int, dists []float32, workers int) {
-	if workers > len(data) {
-		workers = len(data)
+func assignParallel(data, centroids *store.Matrix, assign []int, dists []float32, workers int) {
+	n := data.Rows()
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, row := range data {
-			assign[i], dists[i] = NearestCentroid(centroids, row)
+		for i := 0; i < n; i++ {
+			assign[i], dists[i] = NearestCentroid(centroids, data.Row(i))
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (len(data) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(data) {
-			hi = len(data)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
@@ -243,7 +286,7 @@ func assignParallel(data, centroids [][]float32, assign []int, dists []float32, 
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				assign[i], dists[i] = NearestCentroid(centroids, data[i])
+				assign[i], dists[i] = NearestCentroid(centroids, data.Row(i))
 			}
 		}(lo, hi)
 	}
@@ -259,5 +302,3 @@ func farthestPoint(dists []float32) int {
 	}
 	return best
 }
-
-func copy32(dst, src []float32) { copy(dst, src) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -37,13 +38,13 @@ func TestTrainErrors(t *testing.T) {
 		t.Fatal("expected empty-data error")
 	}
 	data := [][]float32{{1, 2}, {3, 4}}
-	if _, err := Train(data, Config{K: 0}); err == nil {
+	if _, err := Train(store.MustFromRows(data), Config{K: 0}); err == nil {
 		t.Fatal("expected K<1 error")
 	}
-	if _, err := Train(data, Config{K: 3}); err == nil {
+	if _, err := Train(store.MustFromRows(data), Config{K: 3}); err == nil {
 		t.Fatal("expected K>n error")
 	}
-	if _, err := Train([][]float32{{1, 2}, {3}}, Config{K: 1}); err == nil {
+	if _, err := store.FromRows([][]float32{{1, 2}, {3}}); err == nil {
 		t.Fatal("expected ragged error")
 	}
 }
@@ -51,7 +52,7 @@ func TestTrainErrors(t *testing.T) {
 func TestTrainSeparatedBlobs(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	data, labels := blobs(r, 600, 3, 8, 0.3)
-	res, err := Train(data, Config{K: 3, Seed: 42})
+	res, err := Train(store.MustFromRows(data), Config{K: 3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +77,11 @@ func TestTrainSeparatedBlobs(t *testing.T) {
 func TestTrainInertiaDecreasesVsK1(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	data, _ := blobs(r, 300, 4, 6, 0.5)
-	r1, err := Train(data, Config{K: 1, Seed: 7})
+	r1, err := Train(store.MustFromRows(data), Config{K: 1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := Train(data, Config{K: 4, Seed: 7})
+	r4, err := Train(store.MustFromRows(data), Config{K: 4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ func TestTrainInertiaDecreasesVsK1(t *testing.T) {
 func TestTrainDeterministic(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	data, _ := blobs(r, 200, 3, 4, 0.4)
-	a, err := Train(data, Config{K: 3, Seed: 9})
+	a, err := Train(store.MustFromRows(data), Config{K: 3, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Train(data, Config{K: 3, Seed: 9})
+	b, err := Train(store.MustFromRows(data), Config{K: 3, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestAssignmentConsistency(t *testing.T) {
 			}
 			data[i] = row
 		}
-		res, err := Train(data, Config{K: k, Seed: seed})
+		res, err := Train(store.MustFromRows(data), Config{K: k, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -131,8 +132,8 @@ func TestAssignmentConsistency(t *testing.T) {
 			got := res.Assign[i]
 			// Ties are possible; accept if distances are equal.
 			if got != want {
-				dw := vec.L2Sq(row, res.Centroids[want])
-				dg := vec.L2Sq(row, res.Centroids[got])
+				dw := vec.L2Sq(row, res.Centroids.Row(want))
+				dg := vec.L2Sq(row, res.Centroids.Row(got))
 				if dg != dw {
 					return false
 				}
@@ -155,7 +156,7 @@ func TestSizesSumToN(t *testing.T) {
 		for i := range data {
 			data[i] = []float32{float32(r.NormFloat64()), float32(r.NormFloat64())}
 		}
-		res, err := Train(data, Config{K: k, Seed: seed})
+		res, err := Train(store.MustFromRows(data), Config{K: k, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -171,7 +172,7 @@ func TestSizesSumToN(t *testing.T) {
 }
 
 func TestNearestCentroids(t *testing.T) {
-	centroids := [][]float32{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	centroids := store.MustFromRows([][]float32{{0, 0}, {10, 0}, {0, 10}, {10, 10}})
 	q := []float32{1, 1}
 	got := NearestCentroids(centroids, q, 2)
 	if len(got) != 2 || got[0] != 0 {
@@ -185,7 +186,7 @@ func TestNearestCentroids(t *testing.T) {
 	// Ascending order of distance.
 	prev := float32(-1)
 	for _, k := range all {
-		d := vec.L2Sq(q, centroids[k])
+		d := vec.L2Sq(q, centroids.Row(k))
 		if d < prev {
 			t.Fatal("NearestCentroids not ascending")
 		}
@@ -198,7 +199,7 @@ func TestDuplicatePointsDoNotCrash(t *testing.T) {
 	for i := range data {
 		data[i] = []float32{1, 2, 3}
 	}
-	res, err := Train(data, Config{K: 5, Seed: 1})
+	res, err := Train(store.MustFromRows(data), Config{K: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +211,37 @@ func TestDuplicatePointsDoNotCrash(t *testing.T) {
 func TestSingleWorker(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	data, _ := blobs(r, 100, 2, 4, 0.3)
-	res, err := Train(data, Config{K: 2, Seed: 11, Workers: 1})
+	res, err := Train(store.MustFromRows(data), Config{K: 2, Seed: 11, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Centroids) != 2 {
+	if res.Centroids.Rows() != 2 {
 		t.Fatal("wrong centroid count")
+	}
+}
+
+func TestNearestCentroidsDegenerateDistances(t *testing.T) {
+	centroids := store.MustFromRows([][]float32{{0, 0}, {10, 0}, {0, 10}})
+	// A query whose squared distances all overflow to +Inf must still
+	// yield a valid, duplicate-free probe order instead of index -1.
+	huge := []float32{3e38, 3e38}
+	got := NearestCentroids(centroids, huge, 3)
+	if len(got) != 3 {
+		t.Fatalf("probe count = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if c < 0 || c >= 3 || seen[c] {
+			t.Fatalf("invalid probe order %v", got)
+		}
+		seen[c] = true
+	}
+	// Same for a NaN-containing query.
+	nan := []float32{float32(math.NaN()), 1}
+	got = NearestCentroids(centroids, nan, 2)
+	for _, c := range got {
+		if c < 0 || c >= 3 {
+			t.Fatalf("NaN query produced probe %d", c)
+		}
 	}
 }

@@ -34,6 +34,23 @@ func NormalizeForCosine(rows [][]float32) ([][]float32, error) {
 	return out, nil
 }
 
+// NormalizeForCosineInto writes the unit-normalized q into dst (same
+// length) and returns dst, allocating nothing. A zero vector is rejected.
+func NormalizeForCosineInto(dst, q []float32) ([]float32, error) {
+	if len(dst) != len(q) {
+		return nil, errors.New("metric: normalize scratch length mismatch")
+	}
+	n := vec.Norm(q)
+	if n == 0 {
+		return nil, errors.New("metric: zero vector has no cosine direction")
+	}
+	inv := 1 / n
+	for i, v := range q {
+		dst[i] = v * inv
+	}
+	return dst, nil
+}
+
 // CosineFromSqDist converts a squared Euclidean distance between unit
 // vectors back to the cosine similarity.
 func CosineFromSqDist(d float32) float32 {
@@ -81,12 +98,22 @@ func NewIPTransform(rows [][]float32) (*IPTransform, [][]float32, error) {
 
 // Query augments a query vector with a zero coordinate.
 func (t *IPTransform) Query(q []float32) ([]float32, error) {
+	aug := make([]float32, t.Dim+1)
+	return t.QueryInto(aug, q)
+}
+
+// QueryInto writes the augmented query into dst (length Dim+1) and
+// returns dst, allocating nothing.
+func (t *IPTransform) QueryInto(dst, q []float32) ([]float32, error) {
 	if len(q) != t.Dim {
 		return nil, errors.New("metric: query dimension mismatch")
 	}
-	aug := make([]float32, t.Dim+1)
-	copy(aug, q)
-	return aug, nil
+	if len(dst) != t.Dim+1 {
+		return nil, errors.New("metric: query scratch length mismatch")
+	}
+	copy(dst, q)
+	dst[t.Dim] = 0
+	return dst, nil
 }
 
 // IPFromSqDist recovers the inner product ⟨x, q⟩ from the augmented

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"resinfer/internal/matrix"
+	"resinfer/internal/store"
 )
 
 // Model is a trained PCA rotation.
@@ -87,14 +88,87 @@ func Train(data [][]float32, cfg Config) (*Model, error) {
 // the same dimension; callers truncate to the first d coordinates for a
 // d-dimensional projection.
 func (m *Model) Project(x []float32) ([]float32, error) {
-	if len(x) != m.Dim {
-		return nil, errors.New("pca: dimension mismatch")
+	dst := make([]float32, m.Dim)
+	if err := m.ProjectInto(dst, x, make([]float32, m.Dim)); err != nil {
+		return nil, err
 	}
-	cent := make([]float32, m.Dim)
+	return dst, nil
+}
+
+// ProjectInto is Project writing into dst using cent as centering scratch
+// (both of length Dim), allocating nothing. dst and cent must not alias x.
+func (m *Model) ProjectInto(dst, x, cent []float32) error {
+	if len(x) != m.Dim {
+		return errors.New("pca: dimension mismatch")
+	}
+	if len(dst) != m.Dim || len(cent) != m.Dim {
+		return errors.New("pca: scratch dimension mismatch")
+	}
 	for i := range x {
 		cent[i] = x[i] - m.Mean[i]
 	}
-	return m.Rotation.ApplyF32(cent)
+	return m.Rotation.ApplyF32Into(dst, cent)
+}
+
+// ProjectMatrix rotates every row of data into a fresh flat matrix using
+// up to `workers` goroutines. Rotating n rows costs n·D² multiply-adds —
+// the dominant one-time cost of building a PCA-based DCO.
+func (m *Model) ProjectMatrix(data *store.Matrix, workers int) (*store.Matrix, error) {
+	if data == nil || data.Rows() == 0 {
+		return nil, errors.New("pca: empty data")
+	}
+	if data.Dim() != m.Dim {
+		return nil, errors.New("pca: dimension mismatch")
+	}
+	out, err := store.New(data.Rows(), m.Dim)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > data.Rows() {
+		workers = data.Rows()
+	}
+	if workers <= 1 {
+		cent := make([]float32, m.Dim)
+		for i := 0; i < data.Rows(); i++ {
+			if err := m.ProjectInto(out.Row(i), data.Row(i), cent); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (data.Rows() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > data.Rows() {
+			hi = data.Rows()
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cent := make([]float32, m.Dim)
+			for i := lo; i < hi; i++ {
+				if err := m.ProjectInto(out.Row(i), data.Row(i), cent); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // ProjectAll rotates every row of data, returning a new matrix of rotated

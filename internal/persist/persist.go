@@ -139,6 +139,38 @@ func (w *Writer) F32Mat(rows [][]float32) {
 	}
 }
 
+// blockFloats is how many float32s F32Block converts per chunk (64 KiB of
+// encoded bytes), trading a small scratch buffer for large sequential
+// writes instead of one 4-byte write per element.
+const blockFloats = 16384
+
+// F32Block writes a length-prefixed []float32 as one bulk little-endian
+// byte stream. It encodes the same logical value as F32s but converts in
+// 64 KiB chunks, so flat vector buffers serialize at memory bandwidth
+// instead of element-at-a-time.
+func (w *Writer) F32Block(xs []float32) {
+	w.Int(len(xs))
+	if w.err != nil {
+		return
+	}
+	buf := make([]byte, 0, 4*blockFloats)
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > blockFloats {
+			n = blockFloats
+		}
+		buf = buf[:4*n]
+		for i, v := range xs[:n] {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		w.write(buf)
+		if w.err != nil {
+			return
+		}
+		xs = xs[n:]
+	}
+}
+
 // Reader decodes values from an underlying stream, retaining the first
 // error.
 type Reader struct {
@@ -281,6 +313,32 @@ func (r *Reader) I32s() []int32 {
 	out := make([]int32, n)
 	for i := range out {
 		out[i] = int32(r.U32())
+	}
+	return out
+}
+
+// F32Block reads a length-prefixed []float32 written by F32Block.
+func (r *Reader) F32Block() []float32 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	buf := make([]byte, 0, 4*blockFloats)
+	for off := 0; off < n; {
+		c := n - off
+		if c > blockFloats {
+			c = blockFloats
+		}
+		buf = buf[:4*c]
+		r.read(buf)
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		off += c
 	}
 	return out
 }

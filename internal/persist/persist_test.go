@@ -191,3 +191,46 @@ func TestMatrixRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestF32BlockRoundTrip(t *testing.T) {
+	// Cross the chunk boundary to exercise the multi-chunk path.
+	xs := make([]float32, 16384*2+37)
+	for i := range xs {
+		xs[i] = float32(i)*0.5 - 1000
+	}
+	for _, in := range [][]float32{nil, {1.25}, xs} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.F32Block(in)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		out := r.F32Block()
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("len %d want %d", len(out), len(in))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("elem %d: %v want %v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestF32BlockMatchesF32s(t *testing.T) {
+	// F32Block and F32s encode the same logical value with identical bytes.
+	xs := []float32{1, -2.5, 3e7, 0}
+	var a, b bytes.Buffer
+	wa, wb := NewWriter(&a), NewWriter(&b)
+	wa.F32Block(xs)
+	wb.F32s(xs)
+	wa.Flush()
+	wb.Flush()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("F32Block must be byte-compatible with F32s")
+	}
+}

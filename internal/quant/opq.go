@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"resinfer/internal/matrix"
+	"resinfer/internal/store"
 )
 
 // OPQConfig controls Optimized Product Quantization training.
@@ -29,14 +30,14 @@ type OPQ struct {
 	PQ       *PQ
 }
 
-// TrainOPQ fits OPQ on data using non-parametric alternating optimization
-// (Ge et al., TPAMI 2014): rotate, train PQ, reconstruct, re-solve the
-// rotation by Procrustes, repeat.
-func TrainOPQ(data [][]float32, cfg OPQConfig) (*OPQ, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+// TrainOPQ fits OPQ on the rows of data using non-parametric alternating
+// optimization (Ge et al., TPAMI 2014): rotate, train PQ, reconstruct,
+// re-solve the rotation by Procrustes, repeat.
+func TrainOPQ(data *store.Matrix, cfg OPQConfig) (*OPQ, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("quant: empty training data")
 	}
-	d := len(data[0])
+	d := data.Dim()
 	if cfg.Iters <= 0 {
 		cfg.Iters = 5
 	}
@@ -45,24 +46,29 @@ func TrainOPQ(data [][]float32, cfg OPQConfig) (*OPQ, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	sampleIdx := randPerm(len(data), cfg.TrainSample, rng)
-	sample := make([][]float32, len(sampleIdx))
+	sampleIdx := randPerm(data.Rows(), cfg.TrainSample, rng)
+	sample, err := store.New(len(sampleIdx), d)
+	if err != nil {
+		return nil, err
+	}
 	for i, j := range sampleIdx {
-		sample[i] = data[j]
+		sample.SetRow(i, data.Row(j))
 	}
 
 	rot := matrix.Identity(d)
-	rotated := make([][]float32, len(sample))
+	rotated, err := store.New(sample.Rows(), d)
+	if err != nil {
+		return nil, err
+	}
 	var pq *PQ
+	rec := make([]float32, d)
+	code := make([]byte, 0)
 	for iter := 0; iter < cfg.Iters; iter++ {
-		for i, row := range sample {
-			y, err := rot.ApplyF32(row)
-			if err != nil {
+		for i := 0; i < sample.Rows(); i++ {
+			if err := rot.ApplyF32Into(rotated.Row(i), sample.Row(i)); err != nil {
 				return nil, err
 			}
-			rotated[i] = y
 		}
-		var err error
 		pqCfg := cfg.PQ
 		pqCfg.Seed = cfg.Seed + int64(iter)
 		// Cheap codebooks during the alternation; the final full training
@@ -77,19 +83,21 @@ func TrainOPQ(data [][]float32, cfg OPQConfig) (*OPQ, error) {
 		if iter == cfg.Iters-1 {
 			break // rotation from this round would be unused
 		}
+		if len(code) != pq.M {
+			code = make([]byte, pq.M)
+		}
 		// Cross-covariance C = Σ x_i y_i^T between original rows x and
 		// reconstructed rotated rows y; the Procrustes solution R = V U^T
 		// maximizes tr(R C), i.e. minimizes Σ ||R x_i - y_i||².
 		c := matrix.New(d, d)
-		for i, row := range sample {
-			code, err := pq.Encode(rotated[i])
-			if err != nil {
+		for i := 0; i < sample.Rows(); i++ {
+			if err := pq.EncodeInto(code, rotated.Row(i)); err != nil {
 				return nil, err
 			}
-			rec, err := pq.Decode(code)
-			if err != nil {
+			if err := pq.DecodeInto(rec, code); err != nil {
 				return nil, err
 			}
+			row := sample.Row(i)
 			for a := 0; a < d; a++ {
 				xa := float64(row[a])
 				if xa == 0 {
@@ -108,12 +116,10 @@ func TrainOPQ(data [][]float32, cfg OPQConfig) (*OPQ, error) {
 		rot = newRot
 	}
 	// Final codebooks trained at full strength in the final rotation.
-	for i, row := range sample {
-		y, err := rot.ApplyF32(row)
-		if err != nil {
+	for i := 0; i < sample.Rows(); i++ {
+		if err := rot.ApplyF32Into(rotated.Row(i), sample.Row(i)); err != nil {
 			return nil, err
 		}
-		rotated[i] = y
 	}
 	finalCfg := cfg.PQ
 	finalCfg.Seed = cfg.Seed + 1_000_003
@@ -129,6 +135,12 @@ func (o *OPQ) Rotate(x []float32) ([]float32, error) {
 	return o.Rotation.ApplyF32(x)
 }
 
+// RotateInto applies the learned rotation to x into dst (length Dim),
+// allocating nothing.
+func (o *OPQ) RotateInto(dst, x []float32) error {
+	return o.Rotation.ApplyF32Into(dst, x)
+}
+
 // Encode rotates then quantizes x.
 func (o *OPQ) Encode(x []float32) ([]byte, error) {
 	y, err := o.Rotate(x)
@@ -139,14 +151,16 @@ func (o *OPQ) Encode(x []float32) ([]byte, error) {
 }
 
 // EncodeAll rotates and quantizes every row into a flat code array.
-func (o *OPQ) EncodeAll(data [][]float32) ([]byte, error) {
-	codes := make([]byte, len(data)*o.PQ.M)
-	for i, row := range data {
-		c, err := o.Encode(row)
-		if err != nil {
+func (o *OPQ) EncodeAll(data *store.Matrix) ([]byte, error) {
+	codes := make([]byte, data.Rows()*o.PQ.M)
+	y := make([]float32, o.PQ.Dim)
+	for i := 0; i < data.Rows(); i++ {
+		if err := o.RotateInto(y, data.Row(i)); err != nil {
 			return nil, err
 		}
-		copy(codes[i*o.PQ.M:], c)
+		if err := o.PQ.EncodeInto(codes[i*o.PQ.M:(i+1)*o.PQ.M], y); err != nil {
+			return nil, err
+		}
 	}
 	return codes, nil
 }
@@ -154,11 +168,20 @@ func (o *OPQ) EncodeAll(data [][]float32) ([]byte, error) {
 // BuildLUT rotates the query and builds the asymmetric-distance table in
 // the rotated space.
 func (o *OPQ) BuildLUT(q []float32) (*LUT, error) {
-	y, err := o.Rotate(q)
-	if err != nil {
+	lut := &LUT{}
+	if err := o.BuildLUTInto(lut, make([]float32, o.PQ.Dim), q); err != nil {
 		return nil, err
 	}
-	return o.PQ.BuildLUT(y)
+	return lut, nil
+}
+
+// BuildLUTInto rotates q into rotScratch (length Dim) and fills lut,
+// reusing lut.Tab — the allocation-free path for pooled evaluators.
+func (o *OPQ) BuildLUTInto(lut *LUT, rotScratch, q []float32) error {
+	if err := o.RotateInto(rotScratch, q); err != nil {
+		return err
+	}
+	return o.PQ.BuildLUTInto(lut, rotScratch)
 }
 
 // ReconstructionError returns ||Rx - decode(encode(Rx))||² for x. Rotation
@@ -174,17 +197,17 @@ func (o *OPQ) ReconstructionError(x []float32) (float32, error) {
 
 // QuantizationError returns the mean reconstruction error of the given
 // rows — the objective OPQ minimizes, exposed for tests and diagnostics.
-func (o *OPQ) QuantizationError(data [][]float32) (float64, error) {
-	if len(data) == 0 {
+func (o *OPQ) QuantizationError(data *store.Matrix) (float64, error) {
+	if data == nil || data.Rows() == 0 {
 		return 0, errors.New("quant: empty data")
 	}
 	var s float64
-	for _, row := range data {
-		e, err := o.ReconstructionError(row)
+	for i := 0; i < data.Rows(); i++ {
+		e, err := o.ReconstructionError(data.Row(i))
 		if err != nil {
 			return 0, err
 		}
 		s += float64(e)
 	}
-	return s / float64(len(data)), nil
+	return s / float64(data.Rows()), nil
 }

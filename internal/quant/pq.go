@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"resinfer/internal/kmeans"
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
@@ -37,12 +38,12 @@ type PQ struct {
 	Codebooks [][][]float32
 }
 
-// TrainPQ fits a product quantizer on data.
-func TrainPQ(data [][]float32, cfg PQConfig) (*PQ, error) {
-	if len(data) == 0 || len(data[0]) == 0 {
+// TrainPQ fits a product quantizer on the rows of data.
+func TrainPQ(data *store.Matrix, cfg PQConfig) (*PQ, error) {
+	if data == nil || data.Rows() == 0 {
 		return nil, errors.New("quant: empty training data")
 	}
-	d := len(data[0])
+	d := data.Dim()
 	if cfg.M < 1 || cfg.M > d {
 		return nil, fmt.Errorf("quant: M=%d invalid for dim %d", cfg.M, d)
 	}
@@ -56,8 +57,8 @@ func TrainPQ(data [][]float32, cfg PQConfig) (*PQ, error) {
 		cfg.TrainIters = 20
 	}
 	k := 1 << cfg.Nbits
-	if k > len(data) {
-		return nil, fmt.Errorf("quant: %d centroids exceed %d training rows", k, len(data))
+	if k > data.Rows() {
+		return nil, fmt.Errorf("quant: %d centroids exceed %d training rows", k, data.Rows())
 	}
 	pq := &PQ{
 		Dim:       d,
@@ -69,9 +70,12 @@ func TrainPQ(data [][]float32, cfg PQConfig) (*PQ, error) {
 	}
 	for m := 0; m < cfg.M; m++ {
 		lo, hi := pq.Bounds[m], pq.Bounds[m+1]
-		sub := make([][]float32, len(data))
-		for i, row := range data {
-			sub[i] = row[lo:hi]
+		sub, err := store.New(data.Rows(), hi-lo)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < data.Rows(); i++ {
+			sub.SetRow(i, data.Row(i)[lo:hi])
 		}
 		res, err := kmeans.Train(sub, kmeans.Config{
 			K:        k,
@@ -81,7 +85,7 @@ func TrainPQ(data [][]float32, cfg PQConfig) (*PQ, error) {
 		if err != nil {
 			return nil, fmt.Errorf("quant: subspace %d: %w", m, err)
 		}
-		pq.Codebooks[m] = res.Centroids
+		pq.Codebooks[m] = res.Centroids.ToRows()
 	}
 	return pq, nil
 }
@@ -103,43 +107,64 @@ func subspaceBounds(d, m int) []int {
 
 // Encode quantizes x into M code bytes.
 func (pq *PQ) Encode(x []float32) ([]byte, error) {
-	if len(x) != pq.Dim {
-		return nil, errors.New("quant: dimension mismatch in Encode")
-	}
 	code := make([]byte, pq.M)
-	for m := 0; m < pq.M; m++ {
-		lo, hi := pq.Bounds[m], pq.Bounds[m+1]
-		best, _ := kmeans.NearestCentroid(pq.Codebooks[m], x[lo:hi])
-		code[m] = byte(best)
+	if err := pq.EncodeInto(code, x); err != nil {
+		return nil, err
 	}
 	return code, nil
 }
 
-// EncodeAll quantizes every row, returning a flat code array of
-// len(data)*M bytes (row i at codes[i*M:(i+1)*M]).
-func (pq *PQ) EncodeAll(data [][]float32) ([]byte, error) {
-	codes := make([]byte, len(data)*pq.M)
-	for i, row := range data {
-		c, err := pq.Encode(row)
-		if err != nil {
+// EncodeInto quantizes x into code (length M), allocating nothing.
+func (pq *PQ) EncodeInto(code []byte, x []float32) error {
+	if len(x) != pq.Dim {
+		return errors.New("quant: dimension mismatch in Encode")
+	}
+	if len(code) != pq.M {
+		return errors.New("quant: code length mismatch in Encode")
+	}
+	for m := 0; m < pq.M; m++ {
+		lo, hi := pq.Bounds[m], pq.Bounds[m+1]
+		best, _ := kmeans.NearestCentroidRows(pq.Codebooks[m], x[lo:hi])
+		code[m] = byte(best)
+	}
+	return nil
+}
+
+// EncodeAll quantizes every row of data, returning a flat code array of
+// data.Rows()*M bytes (row i at codes[i*M:(i+1)*M]).
+func (pq *PQ) EncodeAll(data *store.Matrix) ([]byte, error) {
+	codes := make([]byte, data.Rows()*pq.M)
+	for i := 0; i < data.Rows(); i++ {
+		if err := pq.EncodeInto(codes[i*pq.M:(i+1)*pq.M], data.Row(i)); err != nil {
 			return nil, err
 		}
-		copy(codes[i*pq.M:], c)
 	}
 	return codes, nil
 }
 
 // Decode reconstructs the vector represented by code.
 func (pq *PQ) Decode(code []byte) ([]float32, error) {
-	if len(code) != pq.M {
-		return nil, errors.New("quant: code length mismatch in Decode")
-	}
 	out := make([]float32, pq.Dim)
+	if err := pq.DecodeInto(out, code); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto reconstructs the vector represented by code into out (length
+// Dim), allocating nothing.
+func (pq *PQ) DecodeInto(out []float32, code []byte) error {
+	if len(code) != pq.M {
+		return errors.New("quant: code length mismatch in Decode")
+	}
+	if len(out) != pq.Dim {
+		return errors.New("quant: output length mismatch in Decode")
+	}
 	for m := 0; m < pq.M; m++ {
 		lo := pq.Bounds[m]
 		copy(out[lo:pq.Bounds[m+1]], pq.Codebooks[m][code[m]])
 	}
-	return out, nil
+	return nil
 }
 
 // LUT is a per-query lookup table of squared distances from the query's
@@ -152,10 +177,24 @@ type LUT struct {
 // BuildLUT computes the asymmetric-distance lookup table for query q.
 // Building costs O(D * K); each subsequent distance costs M lookups.
 func (pq *PQ) BuildLUT(q []float32) (*LUT, error) {
-	if len(q) != pq.Dim {
-		return nil, errors.New("quant: dimension mismatch in BuildLUT")
+	lut := &LUT{}
+	if err := pq.BuildLUTInto(lut, q); err != nil {
+		return nil, err
 	}
-	lut := &LUT{M: pq.M, K: pq.K, Tab: make([]float32, pq.M*pq.K)}
+	return lut, nil
+}
+
+// BuildLUTInto fills lut for query q, reusing lut.Tab when it is already
+// large enough — the allocation-free path for pooled evaluators.
+func (pq *PQ) BuildLUTInto(lut *LUT, q []float32) error {
+	if len(q) != pq.Dim {
+		return errors.New("quant: dimension mismatch in BuildLUT")
+	}
+	lut.M, lut.K = pq.M, pq.K
+	if cap(lut.Tab) < pq.M*pq.K {
+		lut.Tab = make([]float32, pq.M*pq.K)
+	}
+	lut.Tab = lut.Tab[:pq.M*pq.K]
 	for m := 0; m < pq.M; m++ {
 		lo, hi := pq.Bounds[m], pq.Bounds[m+1]
 		qm := q[lo:hi]
@@ -164,7 +203,7 @@ func (pq *PQ) BuildLUT(q []float32) (*LUT, error) {
 			lut.Tab[base+k] = vec.L2Sq(qm, c)
 		}
 	}
-	return lut, nil
+	return nil
 }
 
 // Distance returns the asymmetric distance of the point whose codes are

@@ -6,10 +6,11 @@ import (
 	"testing"
 	"testing/quick"
 
+	"resinfer/internal/store"
 	"resinfer/internal/vec"
 )
 
-func gaussData(r *rand.Rand, n, d int) [][]float32 {
+func gaussData(r *rand.Rand, n, d int) *store.Matrix {
 	data := make([][]float32, n)
 	for i := range data {
 		row := make([]float32, d)
@@ -20,7 +21,17 @@ func gaussData(r *rand.Rand, n, d int) [][]float32 {
 		}
 		data[i] = row
 	}
-	return data
+	return store.MustFromRows(data)
+}
+
+// subMat returns a copy of the first n rows of m.
+func subMat(m *store.Matrix, n int) *store.Matrix {
+	out, err := store.New(n, m.Dim())
+	if err != nil {
+		panic(err)
+	}
+	copy(out.Flat(), m.Flat()[:n*m.Dim()])
+	return out
 }
 
 func TestSubspaceBounds(t *testing.T) {
@@ -51,7 +62,7 @@ func TestTrainPQErrors(t *testing.T) {
 	if _, err := TrainPQ(data, PQConfig{M: 2, Nbits: 12}); err == nil {
 		t.Fatal("expected Nbits error")
 	}
-	if _, err := TrainPQ(data[:10], PQConfig{M: 2, Nbits: 8}); err == nil {
+	if _, err := TrainPQ(subMat(data, 10), PQConfig{M: 2, Nbits: 8}); err == nil {
 		t.Fatal("expected too-few-rows error")
 	}
 }
@@ -89,7 +100,8 @@ func TestPQReconstructionBetterThanRandomCode(t *testing.T) {
 		t.Fatal(err)
 	}
 	var encErr, randErr float64
-	for _, row := range data[:100] {
+	for ri := 0; ri < 100; ri++ {
+		row := data.Row(ri)
 		e, err := pq.ReconstructionError(row)
 		if err != nil {
 			t.Fatal(err)
@@ -126,7 +138,7 @@ func TestLUTMatchesDecodedDistance(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		x := data[rr.Intn(len(data))]
+		x := data.Row(rr.Intn(data.Rows()))
 		code, _ := pq.Encode(x)
 		dec, _ := pq.Decode(code)
 		got := float64(lut.Distance(code))
@@ -152,7 +164,7 @@ func TestEncodeAllLayout(t *testing.T) {
 	if len(codes) != 100*4 {
 		t.Fatalf("codes len = %d", len(codes))
 	}
-	c7, _ := pq.Encode(data[7])
+	c7, _ := pq.Encode(data.Row(7))
 	for m := 0; m < 4; m++ {
 		if codes[7*4+m] != c7[m] {
 			t.Fatal("EncodeAll layout mismatch")
@@ -186,7 +198,8 @@ func TestOPQImprovesOverIdentityStart(t *testing.T) {
 		data[i] = row
 	}
 	pqCfg := PQConfig{M: 4, Nbits: 5, Seed: 11}
-	pq, err := TrainPQ(data, pqCfg)
+	mat := store.MustFromRows(data)
+	pq, err := TrainPQ(mat, pqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +210,11 @@ func TestOPQImprovesOverIdentityStart(t *testing.T) {
 	}
 	pqErr /= 300
 
-	opq, err := TrainOPQ(data, OPQConfig{PQ: pqCfg, Iters: 5, Seed: 11})
+	opq, err := TrainOPQ(mat, OPQConfig{PQ: pqCfg, Iters: 5, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	opqErr, err := opq.QuantizationError(data[:300])
+	opqErr, err := opq.QuantizationError(subMat(mat, 300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,12 +242,12 @@ func TestOPQLUTMatchesDecoded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := data[0]
+	q := data.Row(0)
 	lut, err := opq.BuildLUT(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := data[42]
+	x := data.Row(42)
 	code, err := opq.Encode(x)
 	if err != nil {
 		t.Fatal(err)
@@ -261,8 +274,8 @@ func BenchmarkLUTDistance(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	lut, _ := pq.BuildLUT(data[0])
-	code, _ := pq.Encode(data[1])
+	lut, _ := pq.BuildLUT(data.Row(0))
+	code, _ := pq.Encode(data.Row(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = lut.Distance(code)

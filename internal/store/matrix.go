@@ -1,0 +1,136 @@
+// Package store provides the contiguous vector storage used by the whole
+// distance stack: a flat row-major []float32 with a fixed stride. One heap
+// object holds every vector, so a linear scan (or a graph walk over ids
+// assigned in insertion order) streams through memory instead of chasing
+// one pointer per row, and the serialization codec can move the entire
+// buffer with bulk reads and writes.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"resinfer/internal/persist"
+)
+
+// Matrix is a dense row-major collection of equal-length float32 vectors.
+// Row i occupies Flat()[i*Dim() : (i+1)*Dim()]. The zero value is not
+// usable; construct with New, FromRows or FromFlat.
+type Matrix struct {
+	data []float32
+	rows int
+	dim  int
+}
+
+// New returns a zeroed rows x dim matrix.
+func New(rows, dim int) (*Matrix, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("store: invalid shape %dx%d", rows, dim)
+	}
+	return &Matrix{data: make([]float32, rows*dim), rows: rows, dim: dim}, nil
+}
+
+// FromRows copies rows (non-empty, rectangular) into a fresh flat buffer.
+func FromRows(rows [][]float32) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("store: empty data")
+	}
+	dim := len(rows[0])
+	m := &Matrix{data: make([]float32, len(rows)*dim), rows: len(rows), dim: dim}
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("store: row %d has dim %d, want %d", i, len(r), dim)
+		}
+		copy(m.data[i*dim:], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows for callers with already-validated input (tests,
+// generators); it panics on malformed rows.
+func MustFromRows(rows [][]float32) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromFlat wraps an existing flat buffer (taking ownership) as a rows x dim
+// matrix. len(flat) must equal rows*dim.
+func FromFlat(flat []float32, rows, dim int) (*Matrix, error) {
+	if rows <= 0 || dim <= 0 || len(flat) != rows*dim {
+		return nil, fmt.Errorf("store: flat len %d does not match %dx%d", len(flat), rows, dim)
+	}
+	return &Matrix{data: flat, rows: rows, dim: dim}, nil
+}
+
+// Rows returns the number of vectors.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Dim returns the vector dimensionality (the row stride).
+func (m *Matrix) Dim() int { return m.dim }
+
+// Flat returns the backing buffer (read-only by convention on shared
+// matrices). Row i starts at offset i*Dim().
+func (m *Matrix) Flat() []float32 { return m.data }
+
+// Row returns a view of row i. The full slice expression pins cap to the
+// row, so an append by a careless caller cannot clobber row i+1.
+func (m *Matrix) Row(i int) []float32 {
+	off := i * m.dim
+	return m.data[off : off+m.dim : off+m.dim]
+}
+
+// SetRow copies v (length Dim) into row i.
+func (m *Matrix) SetRow(i int, v []float32) {
+	copy(m.data[i*m.dim:(i+1)*m.dim], v)
+}
+
+// ToRows returns per-row views sharing the flat buffer (no copy).
+func (m *Matrix) ToRows() [][]float32 {
+	out := make([][]float32, m.rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	data := make([]float32, len(m.data))
+	copy(data, m.data)
+	return &Matrix{data: data, rows: m.rows, dim: m.dim}
+}
+
+// Bytes returns the size of the backing buffer in bytes.
+func (m *Matrix) Bytes() int64 { return int64(len(m.data)) * 4 }
+
+const matrixMagic = "RIMTX1"
+
+// Encode writes the matrix onto a persist stream: shape header plus the
+// flat buffer as one bulk block.
+func (m *Matrix) Encode(pw *persist.Writer) {
+	pw.Magic(matrixMagic)
+	pw.Int(m.rows)
+	pw.Int(m.dim)
+	pw.F32Block(m.data)
+}
+
+// Decode reads a matrix previously written by Encode.
+func Decode(pr *persist.Reader) (*Matrix, error) {
+	pr.Magic(matrixMagic)
+	rows := pr.Int()
+	dim := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 || dim <= 0 || rows > persist.MaxSliceLen/dim {
+		return nil, fmt.Errorf("store: corrupt matrix shape %dx%d", rows, dim)
+	}
+	flat := pr.F32Block()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	return FromFlat(flat, rows, dim)
+}

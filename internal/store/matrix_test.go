@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"resinfer/internal/persist"
+)
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rows := [][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 4 || m.Dim() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Dim())
+	}
+	for i, r := range rows {
+		got := m.Row(i)
+		for j := range r {
+			if got[j] != r[j] {
+				t.Fatalf("row %d mismatch: %v vs %v", i, got, r)
+			}
+		}
+	}
+	back := m.ToRows()
+	if len(back) != 4 || &back[1][0] != &m.Flat()[3] {
+		t.Fatal("ToRows must alias the flat buffer")
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := FromRows([][]float32{{}}); err == nil {
+		t.Fatal("expected empty-row error")
+	}
+	if _, err := FromRows([][]float32{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected ragged error")
+	}
+	if _, err := FromFlat([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	if _, err := New(0, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestRowIsCapBounded(t *testing.T) {
+	m := MustFromRows([][]float32{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	if cap(r) != 2 {
+		t.Fatalf("row cap %d, want 2", cap(r))
+	}
+}
+
+func TestSetRowAndClone(t *testing.T) {
+	m := MustFromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	m.SetRow(1, []float32{9, 9})
+	if m.Row(1)[0] != 9 || c.Row(1)[0] != 3 {
+		t.Fatal("Clone must not share the buffer")
+	}
+	if m.Bytes() != 16 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := MustFromRows([][]float32{{1.5, -2.25, 3}, {4, 5, -6.75}})
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf)
+	m.Encode(pw)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(persist.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != m.Rows() || got.Dim() != m.Dim() {
+		t.Fatalf("shape %dx%d", got.Rows(), got.Dim())
+	}
+	for i := range m.Flat() {
+		if got.Flat()[i] != m.Flat()[i] {
+			t.Fatalf("flat[%d] = %v want %v", i, got.Flat()[i], m.Flat()[i])
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf)
+	pw.Magic(matrixMagic)
+	pw.Int(-1)
+	pw.Int(4)
+	pw.F32Block(nil)
+	pw.Flush()
+	if _, err := Decode(persist.NewReader(&buf)); err == nil {
+		t.Fatal("expected corrupt-shape error")
+	}
+}

@@ -22,7 +22,13 @@ func L2SqRange(a, b []float32, lo, hi int) float32 {
 // single backwards pass with float64 accumulation so that successive
 // entries are consistent (out[d] = out[d+1] + a[d]^2).
 func SuffixNormSq(a []float32) []float64 {
-	out := make([]float64, len(a)+1)
+	return SuffixNormSqInto(make([]float64, len(a)+1), a)
+}
+
+// SuffixNormSqInto is SuffixNormSq writing into out, which must have
+// length len(a)+1. It returns out.
+func SuffixNormSqInto(out []float64, a []float32) []float64 {
+	out[len(a)] = 0
 	var s float64
 	for i := len(a) - 1; i >= 0; i-- {
 		s += float64(a[i]) * float64(a[i])
@@ -37,7 +43,13 @@ func SuffixNormSq(a []float32) []float64 {
 // entry d equals Σ_{i≥d} q_i² σ_i², so the error bound at projection depth
 // d is m·sqrt(4·out[d]).
 func SuffixWeightedSq(a, w []float32) []float64 {
-	out := make([]float64, len(a)+1)
+	return SuffixWeightedSqInto(make([]float64, len(a)+1), a, w)
+}
+
+// SuffixWeightedSqInto is SuffixWeightedSq writing into out, which must
+// have length len(a)+1. It returns out.
+func SuffixWeightedSqInto(out []float64, a, w []float32) []float64 {
+	out[len(a)] = 0
 	var s float64
 	for i := len(a) - 1; i >= 0; i-- {
 		t := float64(a[i]) * float64(w[i])
@@ -45,4 +57,34 @@ func SuffixWeightedSq(a, w []float32) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// The flat-matrix kernels below read a row directly out of a row-major
+// buffer (base = row*dim) without materializing a per-row slice header,
+// fusing the row addressing into the distance computation. They are
+// bit-identical to calling the slice kernels on the equivalent row views:
+// same unrolling, same accumulation order.
+
+// L2SqFlat returns the squared Euclidean distance between q and the row
+// starting at offset base in the flat row-major buffer.
+func L2SqFlat(q, flat []float32, base int) float32 {
+	return L2Sq(q, flat[base:base+len(q)])
+}
+
+// DotFlat returns the inner product of q and the row starting at offset
+// base in the flat row-major buffer.
+func DotFlat(q, flat []float32, base int) float32 {
+	return Dot(q, flat[base:base+len(q)])
+}
+
+// L2SqRangeFlat returns the squared Euclidean distance restricted to
+// coordinates [lo, hi) of q and the row starting at offset base.
+func L2SqRangeFlat(q, flat []float32, base, lo, hi int) float32 {
+	return L2Sq(q[lo:hi], flat[base+lo:base+hi])
+}
+
+// DotRangeFlat returns the inner product restricted to coordinates
+// [lo, hi) of q and the row starting at offset base.
+func DotRangeFlat(q, flat []float32, base, lo, hi int) float32 {
+	return Dot(q[lo:hi], flat[base+lo:base+hi])
 }

@@ -260,3 +260,58 @@ func BenchmarkL2Sq256(b *testing.B) {
 		_ = L2Sq(x, y)
 	}
 }
+
+func TestFlatKernelsMatchSliceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{1, 3, 7, 8, 9, 16, 31, 64, 100} {
+		rows, q := 5, make([]float32, dim)
+		flat := make([]float32, rows*dim)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64())
+		}
+		for i := range flat {
+			flat[i] = float32(rng.NormFloat64())
+		}
+		for r := 0; r < rows; r++ {
+			base := r * dim
+			row := flat[base : base+dim]
+			if got, want := L2SqFlat(q, flat, base), L2Sq(q, row); got != want {
+				t.Fatalf("dim %d L2SqFlat = %v want %v", dim, got, want)
+			}
+			if got, want := DotFlat(q, flat, base), Dot(q, row); got != want {
+				t.Fatalf("dim %d DotFlat = %v want %v", dim, got, want)
+			}
+			lo, hi := dim/3, dim
+			if got, want := L2SqRangeFlat(q, flat, base, lo, hi), L2Sq(q[lo:hi], row[lo:hi]); got != want {
+				t.Fatalf("dim %d L2SqRangeFlat = %v want %v", dim, got, want)
+			}
+			if got, want := DotRangeFlat(q, flat, base, lo, hi), Dot(q[lo:hi], row[lo:hi]); got != want {
+				t.Fatalf("dim %d DotRangeFlat = %v want %v", dim, got, want)
+			}
+		}
+	}
+}
+
+func TestSuffixIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, w := make([]float32, 33), make([]float32, 33)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		w[i] = float32(rng.Float64())
+	}
+	out := make([]float64, len(a)+1)
+	got := SuffixWeightedSqInto(out, a, w)
+	want := SuffixWeightedSq(a, w)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SuffixWeightedSqInto[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	gotN := SuffixNormSqInto(out, a)
+	wantN := SuffixNormSq(a)
+	for i := range wantN {
+		if gotN[i] != wantN[i] {
+			t.Fatalf("SuffixNormSqInto[%d] = %v want %v", i, gotN[i], wantN[i])
+		}
+	}
+}

@@ -69,6 +69,21 @@ func (ms *metricState) transformQuery(q []float32) ([]float32, error) {
 	return nil, errors.New("resinfer: metric state corrupt")
 }
 
+// transformInto is transformQuery writing into dst (internal
+// dimensionality), the allocation-free path for pooled searches. For L2
+// the query needs no transformation and is returned as-is.
+func (ms *metricState) transformInto(dst, q []float32) ([]float32, error) {
+	switch ms.kind {
+	case L2:
+		return q, nil
+	case Cosine:
+		return metric.NormalizeForCosineInto(dst, q)
+	case InnerProduct:
+		return ms.ip.QueryInto(dst, q)
+	}
+	return nil, errors.New("resinfer: metric state corrupt")
+}
+
 // Score converts a Neighbor's internal squared distance into the metric's
 // native score: squared distance for L2, cosine similarity for Cosine, and
 // inner product for InnerProduct (which needs the original query).

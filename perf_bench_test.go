@@ -1,0 +1,143 @@
+package resinfer_test
+
+// Steady-state serving benchmarks for the pooled, contiguous-storage
+// search path. The acceptance bar for the zero-alloc work is
+// BenchmarkSearchIntoSteadyState* reporting 0 allocs/op: after Enable,
+// a search that reuses its destination slice draws every piece of
+// per-query state (evaluator, rotated-query and suffix scratch, traversal
+// queues, visited marks) from pools.
+//
+// Run with: go test -bench=SearchInto -benchmem .
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"resinfer"
+)
+
+var (
+	benchOnce sync.Once
+	benchErr  error
+	benchIdx  map[resinfer.IndexKind]*resinfer.Index
+	benchQs   [][]float32
+)
+
+const (
+	benchN   = 6000
+	benchDim = 64
+	benchK   = 10
+)
+
+func benchSetup(b *testing.B) {
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		data := make([][]float32, benchN)
+		for i := range data {
+			row := make([]float32, benchDim)
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+			data[i] = row
+		}
+		benchQs = make([][]float32, 32)
+		for i := range benchQs {
+			q := make([]float32, benchDim)
+			for j := range q {
+				q[j] = float32(rng.NormFloat64())
+			}
+			benchQs[i] = q
+		}
+		benchIdx = map[resinfer.IndexKind]*resinfer.Index{}
+		for _, kind := range []resinfer.IndexKind{resinfer.Flat, resinfer.HNSW, resinfer.IVF} {
+			ix, err := resinfer.New(data, kind, &resinfer.Options{Seed: 1})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if err := ix.Enable(resinfer.DDCRes, nil); err != nil {
+				benchErr = err
+				return
+			}
+			benchIdx[kind] = ix
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+func benchSearchInto(b *testing.B, kind resinfer.IndexKind, mode resinfer.Mode) {
+	benchSetup(b)
+	ix := benchIdx[kind]
+	var dst []resinfer.Neighbor
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, err = ix.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, mode, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchIntoSteadyStateFlatExact must report 0 allocs/op: the
+// flat-scan serving path with a reused destination slice.
+func BenchmarkSearchIntoSteadyStateFlatExact(b *testing.B) {
+	benchSearchInto(b, resinfer.Flat, resinfer.Exact)
+}
+
+// BenchmarkSearchIntoSteadyStateFlatDDCRes must report 0 allocs/op: the
+// pooled DDCres evaluator (rotated query, σ suffix table) is reused.
+func BenchmarkSearchIntoSteadyStateFlatDDCRes(b *testing.B) {
+	benchSearchInto(b, resinfer.Flat, resinfer.DDCRes)
+}
+
+// BenchmarkSearchIntoSteadyStateHNSWDDCRes must report 0 allocs/op: graph
+// traversal scratch (visited epochs, candidate and result queues) is
+// pooled alongside the evaluator.
+func BenchmarkSearchIntoSteadyStateHNSWDDCRes(b *testing.B) {
+	benchSearchInto(b, resinfer.HNSW, resinfer.DDCRes)
+}
+
+// BenchmarkSearchIntoSteadyStateIVFDDCRes must report 0 allocs/op: probe
+// selection scratch is pooled alongside the evaluator.
+func BenchmarkSearchIntoSteadyStateIVFDDCRes(b *testing.B) {
+	benchSearchInto(b, resinfer.IVF, resinfer.DDCRes)
+}
+
+// BenchmarkSearchAllocating is the same HNSW+DDCRes query through the
+// plain Search API, which allocates only the caller-visible result slice.
+func BenchmarkSearchAllocating(b *testing.B) {
+	benchSetup(b)
+	ix := benchIdx[resinfer.HNSW]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBatchPooled exercises the one-evaluator-per-worker batch
+// path end to end.
+func BenchmarkSearchBatchPooled(b *testing.B) {
+	benchSetup(b)
+	ix := benchIdx[resinfer.HNSW]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ix.SearchBatch(benchQs, benchK, resinfer.DDCRes, 80, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range out {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"resinfer/internal/adsampling"
 	"resinfer/internal/core"
@@ -16,11 +17,15 @@ import (
 	"resinfer/internal/matrix"
 	"resinfer/internal/metric"
 	"resinfer/internal/persist"
+	"resinfer/internal/store"
 )
 
+// Version 2 of the on-disk format stores vector payloads as flat
+// row-major matrix blocks (store.Matrix) written in bulk, instead of
+// per-row length-prefixed slices.
 const (
-	fileMagic = "RESINFER1"
-	adsMagic  = "RIADS1"
+	fileMagic = "RESINFER2"
+	adsMagic  = "RIADS2"
 )
 
 // Save serializes the index — structure, vectors, and every enabled
@@ -50,9 +55,9 @@ func (ix *Index) encode(pw *persist.Writer) error {
 	case IVF:
 		ix.ivfIdx.Encode(pw)
 		// IVF does not embed the vectors; write them explicitly.
-		pw.F32Mat(ix.data)
+		ix.data.Encode(pw)
 	case Flat:
-		pw.F32Mat(ix.data)
+		ix.data.Encode(pw)
 	default:
 		return fmt.Errorf("resinfer: cannot serialize index kind %q", ix.kind)
 	}
@@ -74,10 +79,12 @@ func (ix *Index) encode(pw *persist.Writer) error {
 		case ADSampling:
 			d := ix.dcos[m].(*adsampling.DCO)
 			pw.Magic(adsMagic)
-			pw.F64(ix.opts.ADSEpsilon0)
-			pw.Int(ix.opts.DeltaD)
+			// Tuning comes from the DCO itself, not ix.opts: Enable may
+			// have trained it with per-call options.
+			pw.F64(d.Epsilon0())
+			pw.Int(d.DeltaD())
 			d.Rotation().Encode(pw)
-			pw.F32Mat(d.Rotated())
+			d.Rotated().Encode(pw)
 		case DDCRes:
 			ix.dcos[m].(*ddc.Res).Encode(pw)
 		case DDCPCA:
@@ -117,7 +124,10 @@ func decodeIndex(pr *persist.Reader) (*Index, error) {
 	if err := pr.Err(); err != nil {
 		return nil, err
 	}
-	ix := &Index{kind: kind, userDim: userDim, metric: ms, dcos: map[Mode]core.DCO{}}
+	ix := &Index{kind: kind, userDim: userDim, metric: ms,
+		opts: (*Options)(nil).withDefaults(),
+		dcos: map[Mode]core.DCO{}, pools: map[Mode]*sync.Pool{}}
+	ix.opts.Metric = mk
 	switch kind {
 	case HNSW:
 		idx, err := hnsw.Decode(pr)
@@ -132,19 +142,17 @@ func decodeIndex(pr *persist.Reader) (*Index, error) {
 			return nil, err
 		}
 		ix.ivfIdx = idx
-		ix.data = pr.F32Mat()
-		if err := pr.Err(); err != nil {
+		ix.data, err = store.Decode(pr)
+		if err != nil {
 			return nil, err
 		}
 	case Flat:
-		ix.data = pr.F32Mat()
-		if err := pr.Err(); err != nil {
+		var err error
+		ix.data, err = store.Decode(pr)
+		if err != nil {
 			return nil, err
 		}
-		if len(ix.data) == 0 {
-			return nil, errors.New("resinfer: flat stream carries no vectors")
-		}
-		idx, err := flat.New(len(ix.data), len(ix.data[0]))
+		idx, err := flat.New(ix.data.Rows(), ix.data.Dim())
 		if err != nil {
 			return nil, err
 		}
@@ -152,15 +160,15 @@ func decodeIndex(pr *persist.Reader) (*Index, error) {
 	default:
 		return nil, fmt.Errorf("resinfer: unknown index kind %q in stream", kind)
 	}
-	if len(ix.data) == 0 {
+	if ix.data == nil || ix.data.Rows() == 0 {
 		return nil, errors.New("resinfer: stream carries no vectors")
 	}
-	ix.dim = len(ix.data[0])
+	ix.dim = ix.data.Dim()
 	exact, err := core.NewExact(ix.data)
 	if err != nil {
 		return nil, err
 	}
-	ix.dcos[Exact] = exact
+	ix.installDCO(Exact, exact)
 
 	nModes := pr.Int()
 	if err := pr.Err(); err != nil {
@@ -184,9 +192,9 @@ func decodeIndex(pr *persist.Reader) (*Index, error) {
 			if derr != nil {
 				return nil, derr
 			}
-			rotated := pr.F32Mat()
-			if err := pr.Err(); err != nil {
-				return nil, err
+			rotated, derr := store.Decode(pr)
+			if derr != nil {
+				return nil, derr
 			}
 			dco, err = adsampling.NewWithRotation(rotated, rot, adsampling.Config{
 				Epsilon0: eps, DeltaD: deltaD,
@@ -203,11 +211,11 @@ func decodeIndex(pr *persist.Reader) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		if dco.Size() != len(ix.data) {
+		if dco.Size() != ix.data.Rows() {
 			return nil, fmt.Errorf("resinfer: mode %s covers %d points, index has %d",
-				m, dco.Size(), len(ix.data))
+				m, dco.Size(), ix.data.Rows())
 		}
-		ix.dcos[m] = dco
+		ix.installDCO(m, dco)
 	}
 	return ix, nil
 }

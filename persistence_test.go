@@ -176,3 +176,77 @@ func TestSaveDeterministic(t *testing.T) {
 		t.Fatal("Save must be deterministic for the same index")
 	}
 }
+
+func TestSaveLoadSaveStable(t *testing.T) {
+	// Saving a LOADED index must produce the same stream: the decode path
+	// must retain the comparator tuning (notably ADSampling's epsilon and
+	// DeltaD) instead of re-serializing zero options.
+	ix, _ := buildRichIndex(t)
+	var first bytes.Buffer
+	if err := ix.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("save -> load -> save must reproduce the identical stream")
+	}
+	reloaded, err := Load(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := apiFixtures(t)
+	sameResults(t, loaded, reloaded, ds.Queries[0])
+}
+
+func TestSaveLoadPreservesADSamplingTuning(t *testing.T) {
+	// Enable with per-call (non-default) ADSampling tuning: the stream
+	// must record the comparator's effective parameters, not ix.opts.
+	ds, _ := apiFixtures(t)
+	ix, err := New(ds.Data[:800], Flat, &Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Enable(ADSampling, &Options{Seed: 21, ADSEpsilon0: 5, DeltaD: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range ds.Queries {
+		a, sa, err := ix.SearchWithStats(q, 10, ADSampling, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := loaded.SearchWithStats(q, 10, ADSampling, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa != sb {
+			t.Fatalf("query %d: stats diverge after reload: %+v vs %+v", qi, sa, sb)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), second.Bytes()) {
+		t.Fatal("re-saving a loaded index with custom ADSampling tuning must reproduce the stream")
+	}
+}

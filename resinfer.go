@@ -18,6 +18,11 @@
 //
 // All distances are squared Euclidean; identifiers refer to row positions
 // in the data slice passed to New.
+//
+// Vectors are stored in one contiguous row-major buffer (internal/store)
+// and the serving path is allocation-free at steady state: every enabled
+// mode keeps a pool of query evaluators whose scratch (rotated query,
+// suffix tables, PQ lookup tables) is reused across searches.
 package resinfer
 
 import (
@@ -29,8 +34,10 @@ import (
 	"resinfer/internal/core"
 	"resinfer/internal/ddc"
 	"resinfer/internal/flat"
+	"resinfer/internal/heap"
 	"resinfer/internal/hnsw"
 	"resinfer/internal/ivf"
+	"resinfer/internal/store"
 )
 
 // Mode selects a distance computation method.
@@ -70,6 +77,26 @@ const (
 	Flat IndexKind = "flat"
 )
 
+// Documented option defaults, materialized by Options.withDefaults so
+// every package sees the same configuration instead of re-defaulting
+// internally.
+const (
+	// DefaultHNSWM is the HNSW graph degree.
+	DefaultHNSWM = 16
+	// DefaultHNSWEfConstruction is the HNSW construction beam width.
+	DefaultHNSWEfConstruction = 200
+	// DefaultADSEpsilon0 is ADSampling's significance parameter.
+	DefaultADSEpsilon0 = 2.1
+	// DefaultResMultiplier is DDCres's error-bound multiplier m.
+	DefaultResMultiplier = 3
+	// DefaultDeltaD is the incremental projection step shared by
+	// ADSampling and DDCres.
+	DefaultDeltaD = 32
+	// DefaultTargetRecall is the label-0 recall target of the learned
+	// methods.
+	DefaultTargetRecall = 0.995
+)
+
 // Options tunes index construction and comparator training. The zero value
 // (or nil) gives the defaults used in the paper's configuration.
 type Options struct {
@@ -98,10 +125,37 @@ type Options struct {
 	Seed int64
 }
 
+// withDefaults materializes every documented default in one place. Fields
+// whose default depends on the data (IVFNList ≈ √n, OPQSubspaces = dim/4)
+// stay zero and are resolved by the respective package at build time.
 func (o *Options) withDefaults() Options {
 	var out Options
 	if o != nil {
 		out = *o
+	}
+	if out.HNSWM <= 0 {
+		out.HNSWM = DefaultHNSWM
+	}
+	if out.HNSWEfConstruction <= 0 {
+		out.HNSWEfConstruction = DefaultHNSWEfConstruction
+	}
+	if out.HNSWEfConstruction < out.HNSWM {
+		out.HNSWEfConstruction = out.HNSWM
+	}
+	if out.ADSEpsilon0 <= 0 {
+		out.ADSEpsilon0 = DefaultADSEpsilon0
+	}
+	if out.ResMultiplier <= 0 {
+		out.ResMultiplier = DefaultResMultiplier
+	}
+	if out.DeltaD <= 0 {
+		out.DeltaD = DefaultDeltaD
+	}
+	if out.TargetRecall == 0 {
+		out.TargetRecall = DefaultTargetRecall
+	}
+	if out.Metric == "" {
+		out.Metric = L2
 	}
 	return out
 }
@@ -126,19 +180,35 @@ type SearchStats struct {
 	PrunedRate float64
 }
 
+// session is one pooled unit of per-query state: a resettable evaluator
+// plus the metric-transform buffer and the raw-hit scratch. Sessions are
+// recycled through per-mode sync.Pools, so a steady-state search allocates
+// nothing beyond the caller-visible result slice.
+type session struct {
+	ev    core.ResettableEvaluator
+	qbuf  []float32   // metric-transform scratch (internal dimensionality)
+	items []heap.Item // raw index hits before Neighbor conversion
+}
+
+func newSessionPool(dco core.PooledDCO, dim int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &session{ev: dco.NewEvaluator(), qbuf: make([]float32, dim)}
+	}}
+}
+
 // Index is an AKNN index with swappable distance computation.
 //
 // Concurrency: an Index is read-safe. Once New returns, and once any
 // Enable/EnableWithTraining call returns, any number of goroutines may
 // call Search, SearchWithStats and SearchBatch concurrently — searches
-// share the immutable index structure and each builds its own per-query
-// evaluator. Enable* calls serialize internally and may run concurrently
+// share the immutable index structure and draw per-query evaluators from
+// a pool. Enable* calls serialize internally and may run concurrently
 // with searches; a mode becomes visible to searches atomically.
 type Index struct {
 	kind    IndexKind
-	data    [][]float32 // rows in the internal (metric-reduced) space
-	dim     int         // internal dimensionality
-	userDim int         // dimensionality callers present queries in
+	data    *store.Matrix // rows in the internal (metric-reduced) space
+	dim     int           // internal dimensionality
+	userDim int           // dimensionality callers present queries in
 	metric  *metricState
 	opts    Options
 
@@ -146,13 +216,16 @@ type Index struct {
 	ivfIdx  *ivf.Index
 	flatIdx *flat.Index
 
-	mu   sync.RWMutex
-	dcos map[Mode]core.DCO
+	mu    sync.RWMutex
+	dcos  map[Mode]core.DCO
+	pools map[Mode]*sync.Pool // per-mode session pools, keyed like dcos
 }
 
 // New builds an index of the given kind over data (rows of equal length,
-// row index = neighbor ID). The Exact mode is always available; other
-// modes are trained on demand via Enable / EnableWithTraining.
+// row index = neighbor ID). The rows are copied into one contiguous
+// row-major buffer; the caller's slices are not retained. The Exact mode
+// is always available; other modes are trained on demand via Enable /
+// EnableWithTraining.
 func New(data [][]float32, kind IndexKind, opts *Options) (*Index, error) {
 	if len(data) == 0 || len(data[0]) == 0 {
 		return nil, errors.New("resinfer: empty data")
@@ -162,23 +235,28 @@ func New(data [][]float32, kind IndexKind, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	mat, err := store.FromRows(prepared)
+	if err != nil {
+		return nil, fmt.Errorf("resinfer: %w", err)
+	}
 	ix := &Index{
 		kind:    kind,
-		data:    prepared,
-		dim:     len(prepared[0]),
+		data:    mat,
+		dim:     mat.Dim(),
 		userDim: len(data[0]),
 		metric:  ms,
 		opts:    o,
 		dcos:    map[Mode]core.DCO{},
+		pools:   map[Mode]*sync.Pool{},
 	}
-	exact, err := core.NewExact(prepared)
+	exact, err := core.NewExact(mat)
 	if err != nil {
 		return nil, err
 	}
-	ix.dcos[Exact] = exact
+	ix.installDCO(Exact, exact)
 	switch kind {
 	case HNSW:
-		idx, err := hnsw.Build(prepared, hnsw.Config{
+		idx, err := hnsw.Build(mat, hnsw.Config{
 			M:              o.HNSWM,
 			EfConstruction: o.HNSWEfConstruction,
 			Seed:           o.Seed,
@@ -188,13 +266,13 @@ func New(data [][]float32, kind IndexKind, opts *Options) (*Index, error) {
 		}
 		ix.hnswIdx = idx
 	case IVF:
-		idx, err := ivf.Build(prepared, ivf.Config{NList: o.IVFNList, Seed: o.Seed})
+		idx, err := ivf.Build(mat, ivf.Config{NList: o.IVFNList, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
 		ix.ivfIdx = idx
 	case Flat:
-		idx, err := flat.Build(prepared)
+		idx, err := flat.Build(mat)
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +281,16 @@ func New(data [][]float32, kind IndexKind, opts *Options) (*Index, error) {
 		return nil, fmt.Errorf("resinfer: unknown index kind %q", kind)
 	}
 	return ix, nil
+}
+
+// installDCO publishes a trained comparator and its evaluator pool.
+func (ix *Index) installDCO(mode Mode, dco core.DCO) {
+	ix.mu.Lock()
+	ix.dcos[mode] = dco
+	if p, ok := dco.(core.PooledDCO); ok {
+		ix.pools[mode] = newSessionPool(p, ix.dim)
+	}
+	ix.mu.Unlock()
 }
 
 // Enable trains and installs a self-calibrating comparator (ADSampling or
@@ -287,9 +375,7 @@ func (ix *Index) enable(mode Mode, trainQueries [][]float32, opts *Options) erro
 	if err != nil {
 		return fmt.Errorf("resinfer: enabling %s: %w", mode, err)
 	}
-	ix.mu.Lock()
-	ix.dcos[mode] = dco
-	ix.mu.Unlock()
+	ix.installDCO(mode, dco)
 	return nil
 }
 
@@ -299,6 +385,18 @@ func (ix *Index) Enabled(mode Mode) bool {
 	defer ix.mu.RUnlock()
 	_, ok := ix.dcos[mode]
 	return ok
+}
+
+// acquire checks out a pooled session for the mode. The caller must return
+// it with release (or pool.Put) when the search is done.
+func (ix *Index) acquire(mode Mode) (*session, *sync.Pool, error) {
+	ix.mu.RLock()
+	pool, ok := ix.pools[mode]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("resinfer: mode %s not enabled", mode)
+	}
+	return pool.Get().(*session), pool, nil
 }
 
 // Search returns the approximate k nearest neighbors of q using the given
@@ -311,38 +409,55 @@ func (ix *Index) Search(q []float32, k int, mode Mode, budget int) ([]Neighbor, 
 
 // SearchWithStats is Search plus the distance-computation work counters.
 func (ix *Index) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	return ix.SearchInto(nil, q, k, mode, budget)
+}
+
+// SearchInto is SearchWithStats appending the hits to dst, so a caller
+// that reuses dst across queries (dst = res[:0]) keeps the steady-state
+// search path free of allocations: the evaluator, its scratch tables and
+// the index's traversal state all come from pools.
+func (ix *Index) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
 	if len(q) != ix.userDim {
-		return nil, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), ix.userDim)
+		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), ix.userDim)
 	}
-	tq, err := ix.metric.transformQuery(q)
+	s, pool, err := ix.acquire(mode)
 	if err != nil {
-		return nil, SearchStats{}, err
+		return dst, SearchStats{}, err
 	}
-	q = tq
-	ix.mu.RLock()
-	dco, ok := ix.dcos[mode]
-	ix.mu.RUnlock()
-	if !ok {
-		return nil, SearchStats{}, fmt.Errorf("resinfer: mode %s not enabled", mode)
+	dst, st, err := ix.searchSession(s, dst, q, k, budget)
+	pool.Put(s)
+	return dst, st, err
+}
+
+// searchSession runs one query through an already-acquired session.
+func (ix *Index) searchSession(s *session, dst []Neighbor, q []float32, k, budget int) ([]Neighbor, SearchStats, error) {
+	tq, err := ix.metric.transformInto(s.qbuf, q)
+	if err != nil {
+		return dst, SearchStats{}, err
 	}
-	var items []hnsw.Result
-	var st core.Stats
+	if err := s.ev.Reset(tq); err != nil {
+		return dst, SearchStats{}, err
+	}
+	s.items = s.items[:0]
+	size := ix.data.Rows()
 	switch ix.kind {
 	case HNSW:
-		items, st, err = ix.hnswIdx.Search(dco, q, k, budget)
+		s.items, err = ix.hnswIdx.SearchEval(s.ev, k, budget, size, s.items)
 	case IVF:
-		items, st, err = ix.ivfIdx.Search(dco, q, k, budget)
+		s.items, err = ix.ivfIdx.SearchEval(s.ev, tq, k, budget, size, s.items)
 	case Flat:
-		items, st, err = ix.flatIdx.Search(dco, q, k)
+		s.items, err = ix.flatIdx.SearchEval(s.ev, k, size, s.items)
+	default:
+		err = fmt.Errorf("resinfer: unknown index kind %q", ix.kind)
 	}
 	if err != nil {
-		return nil, SearchStats{}, err
+		return dst, SearchStats{}, err
 	}
-	out := make([]Neighbor, len(items))
-	for i, it := range items {
-		out[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	for _, it := range s.items {
+		dst = append(dst, Neighbor{ID: it.ID, Distance: it.Dist})
 	}
-	return out, SearchStats{
+	st := s.ev.Stats()
+	return dst, SearchStats{
 		Comparisons: st.Comparisons,
 		Pruned:      st.Pruned,
 		ScanRate:    st.ScanRate(ix.dim),
@@ -354,7 +469,7 @@ func (ix *Index) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]N
 func (ix *Index) Kind() IndexKind { return ix.kind }
 
 // Len returns the number of indexed vectors.
-func (ix *Index) Len() int { return len(ix.data) }
+func (ix *Index) Len() int { return ix.data.Rows() }
 
 // Dim returns the internal vector dimensionality (after any metric
 // reduction; InnerProduct augments rows with one coordinate).

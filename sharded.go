@@ -27,7 +27,8 @@ const (
 	Contiguous ShardStrategy = "contiguous"
 )
 
-const shardMagic = "RESSHARD1"
+// Version 2 embeds the v2 single-index streams (flat matrix payloads).
+const shardMagic = "RESSHARD2"
 
 // ShardOptions tunes sharded construction and serving. The zero value (or
 // nil) gives round-robin assignment and GOMAXPROCS-wide fan-out.
@@ -47,7 +48,10 @@ type ShardOptions struct {
 // the full (k, budget), so for the Exact mode the merge is lossless: the
 // sharded result set equals the unsharded one. Like Index, a
 // ShardedIndex is read-safe — after NewSharded and any Enable* calls
-// return, any number of goroutines may search concurrently.
+// return, any number of goroutines may search concurrently. Per-query
+// fan-out state (per-shard result buffers, the merge queue) is pooled, so
+// sharded searches are allocation-free at steady state apart from the
+// caller-visible result slice.
 type ShardedIndex struct {
 	kind     IndexKind
 	strategy ShardStrategy
@@ -57,6 +61,28 @@ type ShardedIndex struct {
 	n        int
 	userDim  int
 	workers  int // shard fan-out width for single-query Search
+	fanPool  sync.Pool
+}
+
+// shardOut is one shard's contribution before the merge. The ns slice is
+// pooled and reused across queries.
+type shardOut struct {
+	ns  []Neighbor
+	st  SearchStats
+	err error
+}
+
+// fanScratch is the pooled per-query fan-out state.
+type fanScratch struct {
+	outs []shardOut
+	rq   *heap.ResultQueue
+}
+
+func (sx *ShardedIndex) initFanPool() {
+	n := len(sx.shards)
+	sx.fanPool.New = func() any {
+		return &fanScratch{outs: make([]shardOut, n), rq: heap.NewResultQueue(16)}
+	}
 }
 
 // NewSharded builds nShards sub-indexes of the given kind over data
@@ -111,6 +137,7 @@ func NewSharded(data [][]float32, kind IndexKind, nShards int, opts *ShardOption
 		}
 	}
 	sx.metric = sx.shards[0].Metric()
+	sx.initFanPool()
 	return sx, nil
 }
 
@@ -206,25 +233,26 @@ func (sx *ShardedIndex) Search(q []float32, k int, mode Mode, budget int) ([]Nei
 // aggregated across shards: Comparisons and Pruned are summed, ScanRate is
 // the comparison-weighted average.
 func (sx *ShardedIndex) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(q, k, mode, budget, sx.workers)
+	return sx.searchFan(nil, q, k, mode, budget, sx.workers)
 }
 
-// shardOut is one shard's contribution before the merge.
-type shardOut struct {
-	ns  []Neighbor
-	st  SearchStats
-	err error
+// SearchInto is SearchWithStats appending the hits to dst; with a reused
+// dst the whole fan-out runs without allocations at steady state.
+func (sx *ShardedIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	return sx.searchFan(dst, q, k, mode, budget, sx.workers)
 }
 
-// searchFan queries up to workers shards concurrently, then merges.
-func (sx *ShardedIndex) searchFan(q []float32, k int, mode Mode, budget, workers int) ([]Neighbor, SearchStats, error) {
+// searchFan queries up to workers shards concurrently through pooled
+// per-shard result buffers, then merges into dst.
+func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode, budget, workers int) ([]Neighbor, SearchStats, error) {
 	if len(q) != sx.userDim {
-		return nil, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
+		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
 	}
-	outs := make([]shardOut, len(sx.shards))
+	fs := sx.fanPool.Get().(*fanScratch)
+	outs := fs.outs
 	if workers <= 1 || len(sx.shards) == 1 {
 		for s, sh := range sx.shards {
-			outs[s].ns, outs[s].st, outs[s].err = sh.SearchWithStats(q, k, mode, budget)
+			outs[s].ns, outs[s].st, outs[s].err = sh.SearchInto(outs[s].ns[:0], q, k, mode, budget)
 		}
 	} else {
 		if workers > len(sx.shards) {
@@ -238,12 +266,14 @@ func (sx *ShardedIndex) searchFan(q []float32, k int, mode Mode, budget, workers
 			go func(s int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchWithStats(q, k, mode, budget)
+				outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchInto(outs[s].ns[:0], q, k, mode, budget)
 			}(s)
 		}
 		wg.Wait()
 	}
-	return sx.merge(q, k, outs)
+	dst, st, err := sx.merge(dst, fs, q, k)
+	sx.fanPool.Put(fs)
+	return dst, st, err
 }
 
 // merge k-way-merges per-shard results through the bounded result queue,
@@ -251,19 +281,20 @@ func (sx *ShardedIndex) searchFan(q []float32, k int, mode Mode, budget, workers
 // squared distance, which is cross-shard comparable for L2 and Cosine; an
 // InnerProduct index augments vectors with a per-shard constant, so there
 // the merge ranks by the recovered native score instead (see Score).
-func (sx *ShardedIndex) merge(q []float32, k int, outs []shardOut) ([]Neighbor, SearchStats, error) {
+func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	var scanWeighted float64
-	rq := heap.NewResultQueue(k)
-	for s := range outs {
-		if outs[s].err != nil {
-			return nil, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, outs[s].err)
+	rq := fs.rq
+	rq.Reset(k)
+	for s := range fs.outs {
+		if fs.outs[s].err != nil {
+			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
 		}
-		st := outs[s].st
+		st := fs.outs[s].st
 		agg.Comparisons += st.Comparisons
 		agg.Pruned += st.Pruned
 		scanWeighted += st.ScanRate * float64(st.Comparisons)
-		for _, n := range outs[s].ns {
+		for _, n := range fs.outs[s].ns {
 			key := n.Distance
 			if sx.metric == InnerProduct {
 				key = -sx.shards[s].Score(n, q)
@@ -277,21 +308,26 @@ func (sx *ShardedIndex) merge(q []float32, k int, outs []shardOut) ([]Neighbor, 
 		agg.ScanRate = scanWeighted / float64(agg.Comparisons)
 		agg.PrunedRate = float64(agg.Pruned) / float64(agg.Comparisons)
 	}
-	items := rq.Sorted()
-	out := make([]Neighbor, len(items))
-	for i, it := range items {
-		out[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	start := len(dst)
+	for i := 0; i < rq.Len(); i++ {
+		dst = append(dst, Neighbor{})
 	}
-	return out, agg, nil
+	items := dst[start:]
+	for i := len(items) - 1; i >= 0; i-- {
+		it, _ := rq.PopMax()
+		items[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	}
+	return dst, agg, nil
 }
 
 // SearchBatch runs Search for every query concurrently across up to
 // workers goroutines (default GOMAXPROCS). Parallelism is spent across
 // queries; within one query the shards are scanned sequentially, so total
-// concurrency stays bounded by workers. Batch parameters are validated
-// once up front. Results are positionally aligned with queries;
-// per-query failures are reported in the result rather than aborting the
-// batch.
+// concurrency stays bounded by workers. Each worker draws pooled fan-out
+// and evaluator state that is reused across all queries it processes.
+// Batch parameters are validated once up front. Results are positionally
+// aligned with queries; per-query failures are reported in the result
+// rather than aborting the batch.
 func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
 	if err := validateBatch(queries, k, budget, sx.userDim); err != nil {
 		return nil, err
@@ -299,17 +335,21 @@ func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budge
 	workers = clampWorkers(workers, len(queries))
 	out := make([]BatchResult, len(queries))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for qi := range queries {
+	idxCh := make(chan int, workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			ns, st, err := sx.searchFan(queries[qi], k, mode, budget, 1)
-			out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
-		}(qi)
+			for qi := range idxCh {
+				ns, st, err := sx.searchFan(nil, queries[qi], k, mode, budget, 1)
+				out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
+			}
+		}()
 	}
+	for qi := range queries {
+		idxCh <- qi
+	}
+	close(idxCh)
 	wg.Wait()
 	return out, nil
 }
@@ -415,6 +455,7 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 	}
 	sx.kind = sx.shards[0].Kind()
 	sx.metric = sx.shards[0].Metric()
+	sx.initFanPool()
 	return sx, nil
 }
 
