@@ -5,14 +5,22 @@
 //
 //	annserve -n 20000 -dim 64 -kind hnsw -shards 4 -modes exact,ddc-res -addr :8080
 //
-// Serve a previously saved index (single or sharded — the file format is
-// auto-detected):
+// Serve a mutable (streaming) index that accepts live upserts, deletes
+// and background compaction:
+//
+//	annserve -mutable -n 20000 -dim 64 -shards 4 -compact-threshold 1024 -addr :8080
+//
+// Serve a previously saved index (single, sharded or mutable — the file
+// format is auto-detected):
 //
 //	annserve -load index.bin -addr :8080
 //
-// Query it:
+// Query and mutate it:
 //
 //	curl -s localhost:8080/search -d '{"query":[...],"k":10,"mode":"ddc-res","budget":100}'
+//	curl -s localhost:8080/upsert -d '{"vector":[...]}'
+//	curl -s localhost:8080/delete -d '{"id":123}'
+//	curl -s localhost:8080/compact -d '{}'
 //	curl -s localhost:8080/stats
 package main
 
@@ -44,6 +52,10 @@ func main() {
 		modesFlag = flag.String("modes", "exact,ddc-res", "comma-separated DCO modes to enable")
 		shards    = flag.Int("shards", 4, "shard count (1 = unsharded)")
 
+		mutable       = flag.Bool("mutable", false, "serve a mutable (streaming) index: enables POST /upsert, /delete and /compact")
+		compactThresh = flag.Int("compact-threshold", resinfer.DefaultCompactThreshold, "per-shard memtable depth triggering background compaction (with -mutable)")
+		noAutoCompact = flag.Bool("no-auto-compact", false, "disable background compaction; compact only via POST /compact (with -mutable)")
+
 		n     = flag.Int("n", 20000, "synthetic dataset size (ignored with -load)")
 		dim   = flag.Int("dim", 64, "synthetic dataset dimensionality (ignored with -load)")
 		train = flag.Int("train", 500, "training queries generated for learned modes (ignored with -load)")
@@ -59,9 +71,13 @@ func main() {
 	flag.Parse()
 
 	idx, err := buildOrLoad(*loadPath, *savePath, *kindFlag, *metric, *modesFlag,
-		*shards, *n, *dim, *train, *seed)
+		*shards, *n, *dim, *train, *seed,
+		*mutable, *compactThresh, *noAutoCompact)
 	if err != nil {
 		log.Fatalf("annserve: %v", err)
+	}
+	if mx, ok := idx.(*resinfer.MutableIndex); ok {
+		defer mx.Close()
 	}
 
 	srv := server.New(idx, server.Config{
@@ -85,22 +101,28 @@ func main() {
 }
 
 // buildOrLoad resolves the served index from flags: either a saved file
-// (format auto-detected from the magic) or a fresh build over a synthetic
-// dataset.
+// (format auto-detected from the magic: mutable, sharded or single) or a
+// fresh build over a synthetic dataset.
 func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
-	shards, n, dim, train int, seed int64) (server.Searcher, error) {
+	shards, n, dim, train int, seed int64,
+	mutable bool, compactThresh int, noAutoCompact bool) (server.Searcher, error) {
 
 	if loadPath != "" {
-		sharded, err := isShardedFile(loadPath)
+		format, err := sniffFormat(loadPath)
 		if err != nil {
 			return nil, err
 		}
-		if sharded {
+		switch format {
+		case formatMutable:
+			log.Printf("annserve: loading mutable (streaming) index from %s", loadPath)
+			return resinfer.LoadMutableFile(loadPath)
+		case formatSharded:
 			log.Printf("annserve: loading sharded index from %s", loadPath)
 			return resinfer.LoadShardedFile(loadPath)
+		default:
+			log.Printf("annserve: loading index from %s", loadPath)
+			return resinfer.LoadFile(loadPath)
 		}
-		log.Printf("annserve: loading index from %s", loadPath)
-		return resinfer.LoadFile(loadPath)
 	}
 
 	modes, err := parseModes(modesFlag)
@@ -119,6 +141,35 @@ func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
 	kind := resinfer.IndexKind(kindFlag)
 
 	start := time.Now()
+	if mutable {
+		if shards < 1 {
+			shards = 1
+		}
+		log.Printf("annserve: building mutable %d-shard %s index (compact threshold %d)",
+			shards, kind, compactThresh)
+		mx, err := resinfer.NewMutable(ds.Data, kind, shards, &resinfer.MutableOptions{
+			Index:              opts,
+			CompactThreshold:   compactThresh,
+			DisableAutoCompact: noAutoCompact,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range modes {
+			log.Printf("annserve: enabling %s", m)
+			if err := mx.EnableWithTraining(m, ds.Train, opts); err != nil {
+				return nil, err
+			}
+		}
+		log.Printf("annserve: built in %.1fs", time.Since(start).Seconds())
+		if savePath != "" {
+			if err := mx.SaveFile(savePath); err != nil {
+				return nil, err
+			}
+			log.Printf("annserve: saved to %s", savePath)
+		}
+		return mx, nil
+	}
 	if shards > 1 {
 		log.Printf("annserve: building %d %s shards", shards, kind)
 		sx, err := resinfer.NewSharded(ds.Data, kind, shards, &resinfer.ShardOptions{Index: opts})
@@ -180,19 +231,35 @@ func parseModes(s string) ([]resinfer.Mode, error) {
 	return out, nil
 }
 
-// isShardedFile peeks at the file magic to pick the right loader. The
+// fileFormat identifies which loader a saved index needs.
+type fileFormat int
+
+const (
+	formatSingle fileFormat = iota
+	formatSharded
+	formatMutable
+)
+
+// sniffFormat peeks at the file magic to pick the right loader. The
 // version digit is ignored so the check survives format bumps; the loader
 // itself rejects versions it cannot read.
-func isShardedFile(path string) (bool, error) {
+func sniffFormat(path string) (fileFormat, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false, err
+		return formatSingle, err
 	}
 	defer f.Close()
-	const prefix = "RESSHARD"
-	magic := make([]byte, len(prefix))
+	magic := make([]byte, 8)
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return false, fmt.Errorf("reading magic of %s: %w", path, err)
+		return formatSingle, fmt.Errorf("reading magic of %s: %w", path, err)
 	}
-	return string(magic) == prefix, nil
+	switch string(magic) {
+	case "RESSHARD":
+		return formatSharded, nil
+	default:
+		if string(magic[:7]) == "RESSTRM" {
+			return formatMutable, nil
+		}
+		return formatSingle, nil
+	}
 }

@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		outPath = flag.String("out", "", "write results to this file instead of stdout")
-		scale   = flag.Float64("scale", 1.0, "shrink dataset profiles by this factor (0,1]")
-		serving = flag.String("serving", "", "run the sharded serving benchmark and write machine-readable JSON (QPS, p50/p99, recall) to this path, e.g. BENCH_serving.json")
-		kernels = flag.String("kernels", "", "run the kernel/layout/pooling benchmarks and write machine-readable JSON (ns/op, allocs/op, QPS before/after) to this path, e.g. BENCH_kernels.json")
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		outPath   = flag.String("out", "", "write results to this file instead of stdout")
+		scale     = flag.Float64("scale", 1.0, "shrink dataset profiles by this factor (0,1]")
+		serving   = flag.String("serving", "", "run the sharded serving benchmark and write machine-readable JSON (QPS, p50/p99, recall) to this path, e.g. BENCH_serving.json")
+		kernels   = flag.String("kernels", "", "run the kernel/layout/pooling benchmarks and write machine-readable JSON (ns/op, allocs/op, QPS before/after) to this path, e.g. BENCH_kernels.json")
+		streaming = flag.String("streaming", "", "run the streaming-ingestion benchmark (concurrent upserts + searches + compaction) and write machine-readable JSON (ingest vec/s, QPS, recall@10) to this path, e.g. BENCH_streaming.json")
 	)
 	flag.Parse()
 	harness.SetScale(*scale)
@@ -41,6 +42,15 @@ func main() {
 	}
 	if *kernels != "" {
 		if err := harness.RunKernels(os.Stdout, *kernels); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if *expFlag == "" && *serving == "" && *streaming == "" {
+			return
+		}
+	}
+	if *streaming != "" {
+		if err := harness.RunStreaming(os.Stdout, *streaming); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -58,7 +68,7 @@ func main() {
 		}
 	}
 	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list | -serving <out.json> | -kernels <out.json>")
+		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>[,<id>...] | -exp all | -list | -serving <out.json> | -kernels <out.json> | -streaming <out.json>")
 		os.Exit(2)
 	}
 

@@ -23,6 +23,7 @@ func main() {
 		profile = flag.String("profile", "", "dataset profile name (see -list)")
 		outDir  = flag.String("out", ".", "output directory (created if missing)")
 		k       = flag.Int("k", 100, "ground-truth neighbors per query")
+		drift   = flag.Float64("drift", 0, "mean shift over insert order, in σ of the leading direction: row i is biased by drift·i/(n−1), so late rows are out-of-distribution (exercises the streaming retrain path)")
 		list    = flag.Bool("list", false, "list available profiles")
 	)
 	flag.Parse()
@@ -48,7 +49,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("generating %s (n=%d, dim=%d)...\n", prof.Name, prof.N, prof.Dim)
+	prof.GenConfig.Drift = *drift
+	if *drift != 0 {
+		fmt.Printf("generating %s (n=%d, dim=%d, drift=%.2fσ over insert order)...\n",
+			prof.Name, prof.N, prof.Dim, *drift)
+	} else {
+		fmt.Printf("generating %s (n=%d, dim=%d)...\n", prof.Name, prof.N, prof.Dim)
+	}
 	ds, err := dataset.Generate(prof.GenConfig)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)

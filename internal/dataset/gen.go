@@ -57,7 +57,16 @@ type GenConfig struct {
 	// the generator solves the geometric decay rate to match. Values in
 	// (Dim>32 ? (32/Dim, 1) : ignored).
 	VE32 float64
-	Seed int64
+	// Drift shifts the base-vector mean linearly over insert order: row i
+	// is biased by Drift·(i/(N−1)) standard deviations of the leading
+	// direction on every coordinate (the same bias shape OODQueries
+	// uses), so late rows are out-of-distribution relative to early ones.
+	// Queries and training queries are NOT drifted — they model the
+	// historical workload, which is exactly what makes freshly ingested
+	// drifted vectors exercise the retrain-on-compaction path. Zero
+	// disables drift.
+	Drift float64
+	Seed  int64
 }
 
 // Generate produces a synthetic dataset per cfg.
@@ -114,6 +123,14 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	ds.Data = make([][]float32, cfg.N)
 	for i := range ds.Data {
 		ds.Data[i] = draw(rng)
+	}
+	if cfg.Drift != 0 && cfg.N > 1 {
+		for i, row := range ds.Data {
+			bias := float32(cfg.Drift * sigmas[0] * float64(i) / float64(cfg.N-1))
+			for j := range row {
+				row[j] += bias
+			}
+		}
 	}
 	ds.Queries = make([][]float32, cfg.Queries)
 	for i := range ds.Queries {

@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/dataset"
+)
+
+// StreamingCheckpoint is one mid-ingest recall measurement: after
+// `inserted` vectors have been ingested (and with ingestion paused for
+// the measurement), the index's recall@10 against an exact scan over the
+// corpus as it stands at that instant.
+type StreamingCheckpoint struct {
+	Inserted   int     `json:"inserted"`
+	RecallAt10 float64 `json:"recall_at_10"`
+}
+
+// StreamingResult is the machine-readable document cmd/bench writes to
+// BENCH_streaming.json: ingest throughput, the search QPS and latency
+// observed by concurrent clients while ingestion runs, recall@10 during
+// and after ingest, and the compaction/hot-swap counters.
+type StreamingResult struct {
+	Dataset          string  `json:"dataset"`
+	NBase            int     `json:"n_base"`
+	NInsert          int     `json:"n_insert"`
+	Dim              int     `json:"dim"`
+	Kind             string  `json:"kind"`
+	Shards           int     `json:"shards"`
+	Mode             string  `json:"mode"`
+	K                int     `json:"k"`
+	Budget           int     `json:"budget"`
+	SearchClients    int     `json:"search_clients"`
+	Ingesters        int     `json:"ingesters"`
+	DriftSigma       float64 `json:"drift_sigma"`
+	CompactThreshold int     `json:"compact_threshold"`
+
+	IngestPerSec          float64               `json:"ingest_per_sec"`
+	SearchQPSDuringIngest float64               `json:"search_qps_during_ingest"`
+	SearchP50Ms           float64               `json:"search_p50_ms"`
+	SearchP99Ms           float64               `json:"search_p99_ms"`
+	Checkpoints           []StreamingCheckpoint `json:"checkpoints"`
+	RecallFinal           float64               `json:"recall_final"`
+	Compactions           int64                 `json:"compactions"`
+	MaxSwapMicros         int64                 `json:"max_swap_micros"`
+	LastBuildMillis       int64                 `json:"last_build_millis"`
+	MemtableRowsAtEnd     int                   `json:"memtable_rows_at_end"`
+}
+
+// RunStreaming benchmarks the streaming ingestion subsystem end to end:
+// a mutable sharded HNSW index (DDCres enabled, so compactions retrain
+// the comparator) is seeded with the first half of a drifting synthetic
+// dataset, then concurrent ingesters upsert the second — progressively
+// out-of-distribution — half while concurrent search clients hammer the
+// index. Ingestion pauses at checkpoints to measure exact recall@10
+// against the corpus as it stands; after ingest a forced compaction
+// folds the tail in and final recall is measured over the full corpus.
+// The JSON result goes to outPath; progress and a summary go to w.
+func RunStreaming(w io.Writer, outPath string) error {
+	const (
+		dim     = 64
+		shards  = 4
+		k       = 10
+		budget  = 100
+		clients = 4
+		ingestW = 2
+		drift   = 1.2
+		mode    = resinfer.DDCRes
+	)
+	nBase := scaled(10000, 1200)
+	nIns := scaled(10000, 1200)
+	nq := scaled(300, 60)
+	threshold := scaled(512, 64)
+
+	fmt.Fprintf(w, "streaming bench: base=%d insert=%d dim=%d shards=%d drift=%.1fσ threshold=%d\n",
+		nBase, nIns, dim, shards, drift, threshold)
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Name: "streaming-bench", N: nBase + nIns, Dim: dim, Queries: nq,
+		VE32: 0.65, Drift: drift, Seed: 1234,
+	})
+	if err != nil {
+		return err
+	}
+
+	buildStart := time.Now()
+	mx, err := resinfer.NewMutable(ds.Data[:nBase], resinfer.HNSW, shards,
+		&resinfer.MutableOptions{
+			CompactThreshold: threshold,
+			Index:            &resinfer.Options{Seed: 1234},
+		})
+	if err != nil {
+		return err
+	}
+	defer mx.Close()
+	if err := mx.Enable(mode, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  built %d-shard hnsw base (%s enabled) in %.1fs\n",
+		shards, mode, time.Since(buildStart).Seconds())
+
+	// Search clients run for the whole ingest phase; per-chunk deltas of
+	// the query counter give QPS over the windows where ingestion is
+	// actually running (checkpoint pauses excluded).
+	var queriesDone atomic.Int64
+	var latMu sync.Mutex
+	var latencies []time.Duration
+	stop := make(chan struct{})
+	searchErr := make(chan error, clients)
+	var swg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		swg.Add(1)
+		go func(c int) {
+			defer swg.Done()
+			var dst []resinfer.Neighbor
+			local := make([]time.Duration, 0, 4096)
+			defer func() {
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				latMu.Unlock()
+			}()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := ds.Queries[i%len(ds.Queries)]
+				t0 := time.Now()
+				var err error
+				dst, _, err = mx.SearchInto(dst[:0], q, k, mode, budget)
+				if err != nil {
+					searchErr <- err
+					return
+				}
+				local = append(local, time.Since(t0))
+				queriesDone.Add(1)
+			}
+		}(c)
+	}
+
+	// Ingest in chunks; between chunks (ingestion quiescent) measure
+	// exact recall against the corpus as it stands.
+	const chunks = 4
+	var ingestDur time.Duration
+	var ingestQueries int64
+	var checkpoints []StreamingCheckpoint
+	recallAt := func(cur int) (float64, error) {
+		gt, err := dataset.BruteForceKNN(ds.Data[:cur], ds.Queries, k, 0)
+		if err != nil {
+			return 0, err
+		}
+		results := make([][]int, len(ds.Queries))
+		for qi, q := range ds.Queries {
+			ns, err := mx.Search(q, k, mode, budget)
+			if err != nil {
+				return 0, err
+			}
+			ids := make([]int, len(ns))
+			for i, n := range ns {
+				ids[i] = n.ID
+			}
+			results[qi] = ids
+		}
+		return dataset.Recall(results, gt, k), nil
+	}
+	for c := 0; c < chunks; c++ {
+		lo := nBase + c*nIns/chunks
+		hi := nBase + (c+1)*nIns/chunks
+		qBefore := queriesDone.Load()
+		t0 := time.Now()
+		var iwg sync.WaitGroup
+		ingErr := make(chan error, ingestW)
+		for wkr := 0; wkr < ingestW; wkr++ {
+			iwg.Add(1)
+			go func(wkr int) {
+				defer iwg.Done()
+				for i := lo + wkr; i < hi; i += ingestW {
+					// Upsert with the row index as explicit ID keeps global
+					// IDs aligned with ground-truth row numbers.
+					if _, err := mx.Upsert(i, ds.Data[i]); err != nil {
+						ingErr <- err
+						return
+					}
+				}
+			}(wkr)
+		}
+		iwg.Wait()
+		select {
+		case err := <-ingErr:
+			close(stop)
+			swg.Wait()
+			return err
+		default:
+		}
+		ingestDur += time.Since(t0)
+		ingestQueries += queriesDone.Load() - qBefore
+
+		rec, err := recallAt(hi)
+		if err != nil {
+			close(stop)
+			swg.Wait()
+			return err
+		}
+		checkpoints = append(checkpoints, StreamingCheckpoint{Inserted: hi - nBase, RecallAt10: rec})
+		st := mx.MutationStats()
+		fmt.Fprintf(w, "  ingested %5d/%d  recall@10=%.4f  compactions=%d  memtable=%d\n",
+			hi-nBase, nIns, rec, st.Compactions, st.MemtableRows)
+	}
+	close(stop)
+	swg.Wait()
+	select {
+	case err := <-searchErr:
+		return fmt.Errorf("search failed during ingest: %w", err)
+	default:
+	}
+
+	memAtEnd := mx.MutationStats().MemtableRows
+	// Fold the tail in (the OOD-retrain catch-up) and measure final recall
+	// over the full corpus.
+	if _, err := mx.Compact(); err != nil {
+		return err
+	}
+	recallFinal, err := recallAt(nBase + nIns)
+	if err != nil {
+		return err
+	}
+	st := mx.MutationStats()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quant := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return float64(latencies[i].Microseconds()) / 1000.0
+	}
+
+	result := StreamingResult{
+		Dataset: "streaming-bench", NBase: nBase, NInsert: nIns, Dim: dim,
+		Kind: "hnsw", Shards: shards, Mode: string(mode), K: k, Budget: budget,
+		SearchClients: clients, Ingesters: ingestW,
+		DriftSigma: drift, CompactThreshold: threshold,
+		IngestPerSec:          float64(nIns) / ingestDur.Seconds(),
+		SearchQPSDuringIngest: float64(ingestQueries) / ingestDur.Seconds(),
+		SearchP50Ms:           quant(0.50),
+		SearchP99Ms:           quant(0.99),
+		Checkpoints:           checkpoints,
+		RecallFinal:           recallFinal,
+		Compactions:           st.Compactions,
+		MaxSwapMicros:         st.MaxSwapMicros,
+		LastBuildMillis:       st.LastBuildMillis,
+		MemtableRowsAtEnd:     memAtEnd,
+	}
+	raw, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  ingest=%8.0f vec/s  search=%8.1f qps (p50=%.2fms p99=%.2fms)\n",
+		result.IngestPerSec, result.SearchQPSDuringIngest, result.SearchP50Ms, result.SearchP99Ms)
+	fmt.Fprintf(w, "  recall@10 final=%.4f  compactions=%d  max swap=%dµs\n",
+		result.RecallFinal, result.Compactions, result.MaxSwapMicros)
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

@@ -93,11 +93,15 @@ func (b *batcher) submit(ctx context.Context, q []float32, key batchKey) queryRe
 	case <-b.done:
 		// Shutdown while waiting: an in-flight batch may still answer
 		// within the drain grace period; otherwise fail fast instead of
-		// sitting out the request timeout.
+		// sitting out the request timeout. The grace is derived from the
+		// batch window — a query admitted just before shutdown may sit in
+		// a collecting batch for up to one full window before it even
+		// executes, so a fixed constant shorter than the window would
+		// spuriously fail queries whose batch was still on its way.
 		select {
 		case r := <-pq.resp:
 			return r
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(b.drainGrace()):
 			return queryResult{err: ErrServerClosed}
 		case <-ctx.Done():
 			return queryResult{err: ctx.Err()}
@@ -107,6 +111,17 @@ func (b *batcher) submit(ctx context.Context, q []float32, key batchKey) queryRe
 		// result is simply dropped.
 		return queryResult{err: ctx.Err()}
 	}
+}
+
+// drainGrace is how long a query admitted before shutdown waits for its
+// in-flight batch to answer: one full collection window (the longest it
+// can legitimately still be queued) plus a floor covering execution time.
+func (b *batcher) drainGrace() time.Duration {
+	const floor = 100 * time.Millisecond
+	if b.window <= 0 {
+		return floor
+	}
+	return b.window + floor
 }
 
 // close stops the collector and fails queries still waiting in the queue.

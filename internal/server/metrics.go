@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"resinfer"
 )
 
 // nLatencyBuckets covers latencies from <1µs up to >2^46µs in powers of
@@ -68,17 +70,22 @@ func (h *latencyHist) meanMs() float64 {
 // lock-free on the request path and snapshotted at /stats.
 type metrics struct {
 	start          time.Time
-	requests       atomic.Int64 // HTTP requests to /search and /search/batch
+	requests       atomic.Int64 // HTTP requests across all POST endpoints
 	queries        atomic.Int64 // individual queries answered
 	errors         atomic.Int64 // requests or queries that failed
 	batches        atomic.Int64 // SearchBatch executions by the micro-batcher
 	batchedQueries atomic.Int64 // queries that went through the micro-batcher
 	comparisons    atomic.Int64 // DCO threshold comparisons (visited candidates)
 	pruned         atomic.Int64 // candidates discarded from approximate distances
+	upserts        atomic.Int64 // vectors accepted via POST /upsert
+	deletes        atomic.Int64 // rows removed via POST /delete
 	latency        latencyHist  // whole-request latency
 }
 
-// StatsSnapshot is the JSON document served at GET /stats.
+// StatsSnapshot is the JSON document served at GET /stats. Mutation is
+// present only when the served index accepts streaming mutations: it
+// carries the ingest counters plus the live segment depths (memtable
+// rows, pending tombstones) and compaction/hot-swap timings.
 type StatsSnapshot struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	Requests       int64   `json:"requests"`
@@ -89,9 +96,13 @@ type StatsSnapshot struct {
 	AvgBatchSize   float64 `json:"avg_batch_size"`
 	Comparisons    int64   `json:"comparisons"`
 	Pruned         int64   `json:"pruned"`
+	Upserts        int64   `json:"upserts,omitempty"`
+	Deletes        int64   `json:"deletes,omitempty"`
 	LatencyMeanMs  float64 `json:"latency_mean_ms"`
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
 	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+
+	Mutation *resinfer.MutationStats `json:"mutation,omitempty"`
 }
 
 func (m *metrics) snapshot() StatsSnapshot {
@@ -104,6 +115,8 @@ func (m *metrics) snapshot() StatsSnapshot {
 		BatchedQueries: m.batchedQueries.Load(),
 		Comparisons:    m.comparisons.Load(),
 		Pruned:         m.pruned.Load(),
+		Upserts:        m.upserts.Load(),
+		Deletes:        m.deletes.Load(),
 		LatencyMeanMs:  m.latency.meanMs(),
 		LatencyP50Ms:   m.latency.quantile(0.50),
 		LatencyP99Ms:   m.latency.quantile(0.99),

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"resinfer"
+)
+
+// Mutator is the streaming-ingestion slice of the resinfer API;
+// *resinfer.MutableIndex satisfies it. A server wrapping a Mutator
+// additionally exposes POST /upsert, POST /delete and POST /compact,
+// and surfaces the mutation counters at /stats.
+type Mutator interface {
+	Upsert(id int, vec []float32) (int, error)
+	Delete(id int) (bool, error)
+	Compact() (int, error)
+	MutationStats() resinfer.MutationStats
+}
+
+type upsertRequest struct {
+	// ID is optional: omitted (or negative) asks the index to assign one.
+	ID     *int      `json:"id"`
+	Vector []float32 `json:"vector"`
+}
+
+type upsertResponse struct {
+	ID int `json:"id"`
+}
+
+type deleteRequest struct {
+	ID *int `json:"id"`
+}
+
+type deleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+type compactResponse struct {
+	Compacted int `json:"compacted"`
+}
+
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	var req upsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Vector) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty vector"))
+		return
+	}
+	id := -1
+	if req.ID != nil {
+		id = *req.ID
+	}
+	gid, err := s.mut.Upsert(id, req.Vector)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.upserts.Add(1)
+	writeJSON(w, http.StatusOK, upsertResponse{ID: gid})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.ID == nil || *req.ID < 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("missing or negative id"))
+		return
+	}
+	deleted, err := s.mut.Delete(*req.ID)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if deleted {
+		s.metrics.deletes.Add(1)
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	compacted, err := s.mut.Compact()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compactResponse{Compacted: compacted})
+}

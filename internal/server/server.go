@@ -98,6 +98,7 @@ func (c Config) withDefaults() Config {
 // ListenAndServe, stop with Close.
 type Server struct {
 	idx     Searcher
+	mut     Mutator // non-nil when idx also accepts mutations
 	cfg     Config
 	metrics metrics
 	batcher *batcher // nil when micro-batching is disabled
@@ -105,8 +106,10 @@ type Server struct {
 	mux     *http.ServeMux
 }
 
-// New wraps idx in a server. The caller must not mutate idx (e.g. call
-// Enable*) while the server is running.
+// New wraps idx in a server. The caller must not reconfigure idx (e.g.
+// call Enable*) while the server is running; an index that implements
+// Mutator (resinfer.MutableIndex) additionally gets the /upsert, /delete
+// and /compact endpoints, through which mutation is safe at any time.
 func New(idx Searcher, cfg Config) *Server {
 	c := cfg.withDefaults()
 	s := &Server{
@@ -123,6 +126,12 @@ func New(idx Searcher, cfg Config) *Server {
 	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if m, ok := idx.(Mutator); ok {
+		s.mut = m
+		s.mux.HandleFunc("POST /upsert", s.handleUpsert)
+		s.mux.HandleFunc("POST /delete", s.handleDelete)
+		s.mux.HandleFunc("POST /compact", s.handleCompact)
+	}
 	return s
 }
 
@@ -333,7 +342,12 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	snap := s.metrics.snapshot()
+	if s.mut != nil {
+		ms := s.mut.MutationStats()
+		snap.Mutation = &ms
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 type healthResponse struct {

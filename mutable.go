@@ -1,0 +1,578 @@
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"resinfer/internal/persist"
+	"resinfer/internal/stream"
+)
+
+// Default streaming-ingestion knobs, materialized by
+// MutableOptions.withDefaults.
+const (
+	// DefaultCompactThreshold is the per-shard memtable depth that
+	// triggers a background compaction.
+	DefaultCompactThreshold = 1024
+)
+
+// streamMagic marks the segment-aware mutable container: a header (ID
+// allocator, compaction knobs, recorded comparator trainings), the
+// embedded RESSHARD2 sharded payload, and one memtable + tombstone
+// section per shard — so an index saved mid-compaction, with a non-empty
+// memtable and pending tombstones, round-trips losslessly.
+const streamMagic = "RESSTRM1"
+
+// MutableOptions tunes a streaming (mutable) sharded index. The zero
+// value gives round-robin sharding, a 1024-row compaction threshold, and
+// background auto-compaction.
+type MutableOptions struct {
+	// Strategy assigns the initial data rows to shards (default
+	// RoundRobin). Fresh inserts always round-robin regardless.
+	Strategy ShardStrategy
+	// SearchWorkers bounds how many shards one Search queries
+	// concurrently (default GOMAXPROCS).
+	SearchWorkers int
+	// Index configures each sub-index (see Options); it is also the
+	// configuration compaction rebuilds shards with.
+	Index *Options
+	// CompactThreshold is the per-shard memtable depth that triggers a
+	// background compaction (default 1024).
+	CompactThreshold int
+	// TombstoneThreshold is the per-shard pending-delete count that
+	// triggers a background compaction (default CompactThreshold).
+	TombstoneThreshold int
+	// DisableAutoCompact turns the background compactor off; segments
+	// then only fold back into the base via explicit Compact calls.
+	DisableAutoCompact bool
+}
+
+func (o *MutableOptions) withDefaults() MutableOptions {
+	var out MutableOptions
+	if o != nil {
+		out = *o
+	}
+	if out.CompactThreshold <= 0 {
+		out.CompactThreshold = DefaultCompactThreshold
+	}
+	if out.TombstoneThreshold <= 0 {
+		out.TombstoneThreshold = out.CompactThreshold
+	}
+	return out
+}
+
+// MutationStats is the streaming-ingestion counter set surfaced by
+// MutableIndex.MutationStats (and, through internal/server, at /stats).
+type MutationStats struct {
+	// Inserts counts Add and Upsert calls accepted.
+	Inserts int64 `json:"inserts"`
+	// Deletes counts Delete calls that removed a live row.
+	Deletes int64 `json:"deletes"`
+	// Compactions counts completed shard compactions (hot swaps).
+	Compactions int64 `json:"compactions"`
+	// CompactErrors counts failed compaction attempts.
+	CompactErrors int64 `json:"compact_errors"`
+	// MemtableRows is the current total memtable depth across shards.
+	MemtableRows int `json:"memtable_rows"`
+	// Tombstones is the current total pending-delete count across shards.
+	Tombstones int `json:"tombstones"`
+	// LastSwapMicros is the write-lock hold time of the most recent hot
+	// swap — the only moment a compaction can delay searches.
+	LastSwapMicros int64 `json:"last_swap_micros"`
+	// MaxSwapMicros is the worst hot-swap hold time observed.
+	MaxSwapMicros int64 `json:"max_swap_micros"`
+	// LastBuildMillis is the off-path rebuild+retrain time of the most
+	// recent compaction.
+	LastBuildMillis int64 `json:"last_build_millis"`
+}
+
+// MutableIndex is a sharded AKNN index whose corpus can change while it
+// serves: Add/Upsert append to per-shard memtable segments (scanned
+// exactly, so recall on fresh vectors is perfect), Delete tombstones
+// rows out of sight immediately, and a background compactor folds both
+// back into rebuilt base indexes — retraining their distance comparators
+// — then hot-swaps them in with zero search downtime.
+//
+// Concurrency: any number of goroutines may search concurrently with
+// mutations and compactions. Mutations serialize internally. Global IDs
+// are stable for the life of a row: Add assigns them, searches report
+// them, and compaction preserves them.
+type MutableIndex struct {
+	sx  *ShardedIndex
+	cfg MutableOptions
+
+	inserts        atomic.Int64
+	deletes        atomic.Int64
+	compactions    atomic.Int64
+	compactErrors  atomic.Int64
+	lastSwapMicros atomic.Int64
+	maxSwapMicros  atomic.Int64
+	lastBuildMs    atomic.Int64
+
+	kick     chan struct{}
+	done     chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewMutable builds a mutable sharded index of the given kind over the
+// initial data (row index = global ID, exactly as with NewSharded) and
+// starts its background compactor.
+func NewMutable(data [][]float32, kind IndexKind, nShards int, opts *MutableOptions) (*MutableIndex, error) {
+	o := opts.withDefaults()
+	sx, err := NewSharded(data, kind, nShards, &ShardOptions{
+		Strategy:      o.Strategy,
+		SearchWorkers: o.SearchWorkers,
+		Index:         o.Index,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sx.enableMutation(o.Index)
+	return newMutableAround(sx, o), nil
+}
+
+// newMutableAround wraps an already mutation-enabled ShardedIndex and
+// starts the compactor (shared by NewMutable and LoadMutable).
+func newMutableAround(sx *ShardedIndex, o MutableOptions) *MutableIndex {
+	mx := &MutableIndex{
+		sx:   sx,
+		cfg:  o,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if !o.DisableAutoCompact {
+		mx.wg.Add(1)
+		go mx.compactorLoop()
+	}
+	return mx
+}
+
+// Close stops the background compactor. Pending memtable rows and
+// tombstones stay in place (and persist through Save); searches and
+// explicit Compact calls keep working.
+func (mx *MutableIndex) Close() {
+	mx.closeOne.Do(func() { close(mx.done) })
+	mx.wg.Wait()
+}
+
+// Add ingests a fresh vector and returns its assigned global ID.
+func (mx *MutableIndex) Add(v []float32) (int, error) {
+	id, err := mx.sx.mutUpsert(-1, v)
+	if err != nil {
+		return 0, err
+	}
+	mx.inserts.Add(1)
+	mx.maybeKick()
+	return id, nil
+}
+
+// Upsert writes a vector under an explicit global ID (replacing the live
+// row if one exists); a negative ID asks for auto-assignment. It returns
+// the row's final ID.
+func (mx *MutableIndex) Upsert(id int, v []float32) (int, error) {
+	gid, err := mx.sx.mutUpsert(id, v)
+	if err != nil {
+		return 0, err
+	}
+	mx.inserts.Add(1)
+	mx.maybeKick()
+	return gid, nil
+}
+
+// Delete removes the row with the given global ID, reporting whether it
+// was live.
+func (mx *MutableIndex) Delete(id int) (bool, error) {
+	ok, err := mx.sx.Delete(id)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		mx.deletes.Add(1)
+		mx.maybeKick()
+	}
+	return ok, nil
+}
+
+// Compact synchronously compacts every shard with pending segments,
+// regardless of thresholds, and returns how many shards were rebuilt.
+// Searches keep running throughout.
+func (mx *MutableIndex) Compact() (int, error) {
+	var compacted int
+	var firstErr error
+	for s := 0; s < mx.sx.NumShards(); s++ {
+		did, err := mx.runCompact(s)
+		if did {
+			compacted++
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return compacted, firstErr
+}
+
+// maybeKick wakes the background compactor; wake-ups coalesce through
+// the 1-buffered channel.
+func (mx *MutableIndex) maybeKick() {
+	if mx.cfg.DisableAutoCompact {
+		return
+	}
+	select {
+	case mx.kick <- struct{}{}:
+	default:
+	}
+}
+
+// compactorLoop waits for mutation kicks and compacts every shard whose
+// memtable or tombstone set crossed its threshold. Compactions run one
+// at a time so at most one shard rebuild competes with serving for CPU.
+func (mx *MutableIndex) compactorLoop() {
+	defer mx.wg.Done()
+	for {
+		select {
+		case <-mx.done:
+			return
+		case <-mx.kick:
+		}
+		for s := 0; s < mx.sx.NumShards(); s++ {
+			select {
+			case <-mx.done:
+				return
+			default:
+			}
+			mem, dead := mx.sx.segDepth(s)
+			if mem >= mx.cfg.CompactThreshold || dead >= mx.cfg.TombstoneThreshold {
+				mx.runCompact(s)
+			}
+		}
+	}
+}
+
+// runCompact compacts one shard and records the outcome counters.
+func (mx *MutableIndex) runCompact(s int) (bool, error) {
+	did, info, err := mx.sx.compactShard(s)
+	if err != nil {
+		mx.compactErrors.Add(1)
+		return false, err
+	}
+	if !did {
+		return false, nil
+	}
+	mx.compactions.Add(1)
+	mx.lastBuildMs.Store(info.buildDur.Milliseconds())
+	swap := info.swapDur.Microseconds()
+	mx.lastSwapMicros.Store(swap)
+	for {
+		cur := mx.maxSwapMicros.Load()
+		if swap <= cur || mx.maxSwapMicros.CompareAndSwap(cur, swap) {
+			break
+		}
+	}
+	return true, nil
+}
+
+// MutationStats snapshots the streaming counters.
+func (mx *MutableIndex) MutationStats() MutationStats {
+	st := MutationStats{
+		Inserts:         mx.inserts.Load(),
+		Deletes:         mx.deletes.Load(),
+		Compactions:     mx.compactions.Load(),
+		CompactErrors:   mx.compactErrors.Load(),
+		LastSwapMicros:  mx.lastSwapMicros.Load(),
+		MaxSwapMicros:   mx.maxSwapMicros.Load(),
+		LastBuildMillis: mx.lastBuildMs.Load(),
+	}
+	for s := 0; s < mx.sx.NumShards(); s++ {
+		mem, dead := mx.sx.segDepth(s)
+		st.MemtableRows += mem
+		st.Tombstones += dead
+	}
+	return st
+}
+
+// Sharded returns the underlying sharded index (shared state — callers
+// must not mutate it except through this wrapper).
+func (mx *MutableIndex) Sharded() *ShardedIndex { return mx.sx }
+
+// Search, SearchWithStats, SearchInto and SearchBatch mirror
+// ShardedIndex; results reflect every mutation that completed before the
+// call and never include deleted rows.
+func (mx *MutableIndex) Search(q []float32, k int, mode Mode, budget int) ([]Neighbor, error) {
+	return mx.sx.Search(q, k, mode, budget)
+}
+
+// SearchWithStats is Search plus the aggregated work counters.
+func (mx *MutableIndex) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	return mx.sx.SearchWithStats(q, k, mode, budget)
+}
+
+// SearchInto is SearchWithStats appending the hits to dst.
+func (mx *MutableIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
+	return mx.sx.SearchInto(dst, q, k, mode, budget)
+}
+
+// SearchBatch runs Search for every query concurrently.
+func (mx *MutableIndex) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+	return mx.sx.SearchBatch(queries, k, mode, budget, workers)
+}
+
+// Enable trains and installs a self-calibrating comparator on every
+// shard; compactions retrain it on rebuilt shards automatically.
+func (mx *MutableIndex) Enable(mode Mode, opts *Options) error {
+	return mx.sx.Enable(mode, opts)
+}
+
+// EnableWithTraining trains and installs any comparator on every shard;
+// the training queries are retained so compactions can retrain rebuilt
+// shards.
+func (mx *MutableIndex) EnableWithTraining(mode Mode, trainQueries [][]float32, opts *Options) error {
+	return mx.sx.EnableWithTraining(mode, trainQueries, opts)
+}
+
+// Enabled reports whether the mode's comparator is ready on every shard.
+func (mx *MutableIndex) Enabled(mode Mode) bool { return mx.sx.Enabled(mode) }
+
+// Len returns the live row count (inserts minus deletes).
+func (mx *MutableIndex) Len() int { return mx.sx.Len() }
+
+// Dim returns the internal vector dimensionality.
+func (mx *MutableIndex) Dim() int { return mx.sx.Dim() }
+
+// QueryDim returns the dimensionality callers must present vectors in.
+func (mx *MutableIndex) QueryDim() int { return mx.sx.QueryDim() }
+
+// NumShards returns the shard count.
+func (mx *MutableIndex) NumShards() int { return mx.sx.NumShards() }
+
+// Kind returns the shards' index structure.
+func (mx *MutableIndex) Kind() IndexKind { return mx.sx.Kind() }
+
+// Metric returns the index's similarity measure.
+func (mx *MutableIndex) Metric() MetricKind { return mx.sx.Metric() }
+
+// Modes lists the comparators enabled on every shard.
+func (mx *MutableIndex) Modes() []Mode { return mx.sx.Modes() }
+
+// Score converts a returned Neighbor into the metric's native score.
+func (mx *MutableIndex) Score(n Neighbor, q []float32) float32 { return mx.sx.Score(n, q) }
+
+// Save serializes the mutable index — the sharded payload plus every
+// shard's memtable and tombstone segments and the ID allocator — so a
+// mid-compaction state (memtable non-empty, tombstones pending)
+// round-trips losslessly. Mutations and hot swaps pause for the duration
+// of the write; searches do not.
+func (mx *MutableIndex) Save(w io.Writer) error {
+	m := mx.sx.mut
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pw := persist.NewWriter(w)
+	pw.Magic(streamMagic)
+	pw.Int(m.nextID)
+	pw.Int(m.rr)
+	pw.I64(m.liveN.Load())
+	pw.Int(mx.cfg.CompactThreshold)
+	pw.Int(mx.cfg.TombstoneThreshold)
+	pw.Bool(mx.cfg.DisableAutoCompact)
+	encodeOptions(pw, m.indexOpts)
+	pw.Int(len(m.enables))
+	for _, e := range m.enables {
+		pw.String(string(e.mode))
+		pw.Bool(e.withTraining)
+		encodeOptions(pw, e.opts)
+		pw.F32Mat(e.trainQueries)
+	}
+	if err := mx.sx.encodeSharded(pw); err != nil {
+		return err
+	}
+	for _, seg := range m.segs {
+		seg.mu.RLock()
+		seg.mem.Encode(pw)
+		seg.dead.Encode(pw)
+		seg.mu.RUnlock()
+	}
+	return pw.Flush()
+}
+
+// LoadMutable deserializes a mutable index written by Save and starts
+// its background compactor.
+func LoadMutable(r io.Reader) (*MutableIndex, error) {
+	pr := persist.NewReader(r)
+	pr.Magic(streamMagic)
+	nextID := pr.Int()
+	rr := pr.Int()
+	liveN := pr.I64()
+	cfg := MutableOptions{
+		CompactThreshold:   pr.Int(),
+		TombstoneThreshold: pr.Int(),
+		DisableAutoCompact: pr.Bool(),
+	}
+	indexOpts := decodeOptions(pr)
+	nEnables := pr.Int()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if nEnables < 0 || nEnables > 64 {
+		return nil, errors.New("resinfer: corrupt recorded-enable count")
+	}
+	if rr < 0 || nextID < 0 || liveN < 0 {
+		return nil, fmt.Errorf("resinfer: corrupt stream header (nextID=%d rr=%d liveN=%d)", nextID, rr, liveN)
+	}
+	enables := make([]recordedEnable, 0, nEnables)
+	for i := 0; i < nEnables; i++ {
+		e := recordedEnable{
+			mode:         Mode(pr.String()),
+			withTraining: pr.Bool(),
+			opts:         decodeOptions(pr),
+			trainQueries: pr.F32Mat(),
+		}
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+		if len(e.trainQueries) == 0 {
+			e.trainQueries = nil
+		}
+		enables = append(enables, e)
+	}
+	sx, err := decodeSharded(pr)
+	if err != nil {
+		return nil, err
+	}
+	sx.enableMutation(indexOpts)
+	m := sx.mut
+	m.enables = enables
+	m.rr = rr
+	for s := range m.segs {
+		mem, err := stream.DecodeMemtable(pr)
+		if err != nil {
+			return nil, fmt.Errorf("resinfer: decoding shard %d memtable: %w", s, err)
+		}
+		if mem.Dim() != sx.userDim {
+			return nil, fmt.Errorf("resinfer: shard %d memtable dim %d, index expects %d",
+				s, mem.Dim(), sx.userDim)
+		}
+		dead, err := stream.DecodeTombstones(pr)
+		if err != nil {
+			return nil, fmt.Errorf("resinfer: decoding shard %d tombstones: %w", s, err)
+		}
+		m.segs[s].mem = mem
+		m.segs[s].dead = dead
+		// Recount the hidden base rows (enableMutation saw empty segments).
+		seg := m.segs[s]
+		seg.hidden = 0
+		for _, gid := range dead.IDs() {
+			if _, ok := seg.baseHas[gid]; ok {
+				seg.hidden++
+			}
+		}
+		for i := 0; i < mem.Len(); i++ {
+			gid := mem.ID(i)
+			if _, ok := seg.baseHas[gid]; !ok {
+				continue
+			}
+			if !dead.Has(gid) {
+				seg.hidden++
+			}
+		}
+	}
+	// Rebuild the ownership map against the decoded segments: base rows
+	// that are tombstoned or shadowed are not live, memtable rows are.
+	clear(m.owner)
+	maxID := -1
+	for s := range m.segs {
+		for _, gid := range sx.globalID[s] {
+			if gid > maxID {
+				maxID = gid
+			}
+			if m.segs[s].dead.Has(gid) || m.segs[s].mem.Has(gid) {
+				continue
+			}
+			m.owner[gid] = s
+		}
+	}
+	for s := range m.segs {
+		mem := m.segs[s].mem
+		for i := 0; i < mem.Len(); i++ {
+			id := mem.ID(i)
+			if id > maxID {
+				maxID = id
+			}
+			m.owner[id] = s
+		}
+	}
+	if nextID <= maxID {
+		nextID = maxID + 1
+	}
+	m.nextID = nextID
+	m.liveN.Store(int64(len(m.owner)))
+	if got := int64(len(m.owner)); got != liveN {
+		return nil, fmt.Errorf("resinfer: stream records %d live rows, segments yield %d", liveN, got)
+	}
+	return newMutableAround(sx, cfg), nil
+}
+
+// SaveFile writes the mutable index to a file.
+func (mx *MutableIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mx.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadMutableFile reads a mutable index from a file written by SaveFile.
+func LoadMutableFile(path string) (*MutableIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMutable(f)
+}
+
+// encodeOptions writes an optional Options block field by field (the
+// struct is small and flat; an explicit field list keeps the stream
+// stable if the struct grows).
+func encodeOptions(pw *persist.Writer, o *Options) {
+	pw.Bool(o != nil)
+	if o == nil {
+		return
+	}
+	pw.Int(o.HNSWM)
+	pw.Int(o.HNSWEfConstruction)
+	pw.Int(o.IVFNList)
+	pw.F64(o.ADSEpsilon0)
+	pw.F64(o.ResMultiplier)
+	pw.Int(o.DeltaD)
+	pw.F64(o.TargetRecall)
+	pw.Int(o.OPQSubspaces)
+	pw.String(string(o.Metric))
+	pw.I64(o.Seed)
+}
+
+// decodeOptions reads a block written by encodeOptions.
+func decodeOptions(pr *persist.Reader) *Options {
+	if !pr.Bool() {
+		return nil
+	}
+	o := &Options{}
+	o.HNSWM = pr.Int()
+	o.HNSWEfConstruction = pr.Int()
+	o.IVFNList = pr.Int()
+	o.ADSEpsilon0 = pr.F64()
+	o.ResMultiplier = pr.F64()
+	o.DeltaD = pr.Int()
+	o.TargetRecall = pr.F64()
+	o.OPQSubspaces = pr.Int()
+	o.Metric = MetricKind(pr.String())
+	o.Seed = pr.I64()
+	return o
+}

@@ -1,0 +1,476 @@
+package resinfer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/stream"
+)
+
+// This file is the streaming-ingestion substrate of ShardedIndex: each
+// shard pairs its immutable base index with an append-only memtable
+// segment (exact brute-force scan, so recall on fresh vectors is
+// perfect) and a tombstone set for deletes; a compaction rebuilds a
+// shard's base from the live rows off the serving path and hot-swaps it
+// under the shard's RWMutex with zero search downtime. The public
+// lifecycle wrapper — background compaction, counters, persistence —
+// lives in MutableIndex (mutable.go).
+
+// recordedEnable remembers one Enable/EnableWithTraining call so a
+// compacted shard's rebuilt base index is retrained with the exact same
+// comparators and configuration.
+type recordedEnable struct {
+	mode         Mode
+	trainQueries [][]float32
+	opts         *Options
+	withTraining bool
+}
+
+// shardSeg is the mutable extension of one shard. Its RWMutex guards the
+// shard's entire serving state — sx.shards[s], sx.globalID[s], mem and
+// dead — against searches: searches hold the read lock for the duration
+// of one shard probe; mutations and the compaction hot swap take the
+// write lock briefly.
+type shardSeg struct {
+	mu         sync.RWMutex
+	mem        *stream.Memtable
+	dead       *stream.Tombstones
+	baseHas    map[int]struct{} // global IDs present in the current base segment
+	hidden     int              // base rows invisible (tombstoned or shadowed by a memtable row)
+	compacting bool             // claimed by a running compaction (guarded by mutState.mu)
+}
+
+// mutState is the index-wide streaming state. Its mutex serializes
+// mutations (Add/Upsert/Delete), compaction swaps, Enable calls, and
+// Save on a mutable index; searches never take it.
+type mutState struct {
+	mu        sync.Mutex
+	segs      []*shardSeg
+	owner     map[int]int // live global ID → owning shard
+	nextID    int         // next auto-assigned global ID
+	rr        int         // round-robin cursor for fresh inserts
+	liveN     atomic.Int64
+	enables   []recordedEnable
+	indexOpts *Options // per-shard build options, replayed on compaction
+}
+
+// Mutable reports whether the index accepts Add/Upsert/Delete.
+func (sx *ShardedIndex) Mutable() bool { return sx.mut != nil }
+
+// enableMutation installs the streaming segments on a freshly built or
+// loaded sharded index. indexOpts is retained for compaction rebuilds.
+func (sx *ShardedIndex) enableMutation(indexOpts *Options) {
+	m := &mutState{
+		segs:      make([]*shardSeg, len(sx.shards)),
+		owner:     make(map[int]int, sx.n),
+		indexOpts: indexOpts,
+		rr:        0,
+	}
+	maxID := -1
+	for s := range sx.shards {
+		m.segs[s] = &shardSeg{
+			mem:     stream.NewMemtable(sx.userDim),
+			dead:    stream.NewTombstones(),
+			baseHas: make(map[int]struct{}, len(sx.globalID[s])),
+		}
+		for _, gid := range sx.globalID[s] {
+			m.owner[gid] = s
+			m.segs[s].baseHas[gid] = struct{}{}
+			if gid > maxID {
+				maxID = gid
+			}
+		}
+	}
+	m.nextID = maxID + 1
+	m.liveN.Store(int64(len(m.owner)))
+	sx.mut = m
+}
+
+// scanRow maps a caller vector into the scan space the memtable stores:
+// the raw vector for L2 and InnerProduct, the unit-normalized vector for
+// Cosine. In that space the memtable's exact keys (squared L2, or
+// negated dot product for InnerProduct) are directly comparable with the
+// merge keys of base-segment hits.
+func (sx *ShardedIndex) scanRow(v []float32) ([]float32, error) {
+	if len(v) != sx.userDim {
+		return nil, fmt.Errorf("resinfer: vector dim %d, index expects %d", len(v), sx.userDim)
+	}
+	row := make([]float32, len(v))
+	copy(row, v)
+	if sx.metric == Cosine {
+		norm, _, err := prepareData([][]float32{row}, Cosine)
+		if err != nil {
+			return nil, err
+		}
+		row = norm[0]
+	}
+	return row, nil
+}
+
+// scanQuery maps a caller query into the same scan space, reusing the
+// fan scratch buffer for the Cosine normalization.
+func (sx *ShardedIndex) scanQuery(fs *fanScratch, q []float32) ([]float32, error) {
+	if sx.metric != Cosine {
+		return q, nil
+	}
+	if len(fs.qbuf) != sx.userDim {
+		fs.qbuf = make([]float32, sx.userDim)
+	}
+	st := &metricState{kind: Cosine}
+	return st.transformInto(fs.qbuf, q)
+}
+
+// Add ingests a fresh vector and returns its newly assigned global ID.
+// Assignment is round-robin across shards, so sustained ingestion grows
+// every shard evenly. The ID is stable for the life of the row: searches
+// report it, Delete accepts it, and compaction preserves it.
+func (sx *ShardedIndex) Add(v []float32) (int, error) {
+	return sx.mutUpsert(-1, v)
+}
+
+// Upsert writes a vector under an explicit global ID: a new row if the
+// ID is unknown, an in-place replacement (old version hidden immediately)
+// if it is live. IDs must be non-negative.
+func (sx *ShardedIndex) Upsert(id int, v []float32) error {
+	if id < 0 {
+		return fmt.Errorf("resinfer: upsert id must be non-negative, got %d", id)
+	}
+	_, err := sx.mutUpsert(id, v)
+	return err
+}
+
+// mutUpsert is the shared insert path; id < 0 assigns a fresh ID.
+func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
+	m := sx.mut
+	if m == nil {
+		return 0, errors.New("resinfer: index is immutable; build it with NewMutable")
+	}
+	row, err := sx.scanRow(v)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int
+	if id < 0 {
+		id = m.nextID
+		m.nextID++
+		s = m.rr % len(m.segs)
+		m.rr++
+		m.owner[id] = s
+		m.liveN.Add(1)
+	} else if prev, live := m.owner[id]; live {
+		s = prev // replacement routes to the owning shard so the old row is shadowed there
+	} else {
+		if id >= m.nextID {
+			m.nextID = id + 1
+		}
+		s = m.rr % len(m.segs)
+		m.rr++
+		m.owner[id] = s
+		m.liveN.Add(1)
+	}
+	seg := m.segs[s]
+	seg.mu.Lock()
+	appended := seg.mem.Add(id, row)
+	if appended {
+		// A first memtable write for an ID that sits visible in the base
+		// segment shadows that base row; the hidden count feeds the base
+		// over-fetch so filtering can never starve a search below k.
+		if _, inBase := seg.baseHas[id]; inBase && !seg.dead.Has(id) {
+			seg.hidden++
+		}
+	}
+	seg.mu.Unlock()
+	return id, nil
+}
+
+// Delete removes the row with the given global ID, reporting whether it
+// was live. The row disappears from searches immediately (memtable rows
+// are dropped in place; base rows are tombstoned) and its storage is
+// reclaimed by the next compaction of the owning shard.
+func (sx *ShardedIndex) Delete(id int) (bool, error) {
+	m := sx.mut
+	if m == nil {
+		return false, errors.New("resinfer: index is immutable; build it with NewMutable")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, live := m.owner[id]
+	if !live {
+		return false, nil
+	}
+	seg := m.segs[s]
+	seg.mu.Lock()
+	hadMem := seg.mem.Remove(id)
+	if _, inBase := seg.baseHas[id]; inBase && !hadMem && !seg.dead.Has(id) {
+		// A visible base row becomes hidden; one that was already shadowed
+		// by a memtable row (hadMem) or tombstoned was counted before.
+		seg.hidden++
+	}
+	// Tombstone unconditionally: the ID may sit in the base segment, or be
+	// mid-flight into a rebuilt base an in-progress compaction is about to
+	// swap in. A tombstone for an ID no base holds filters nothing and is
+	// retired by the next compaction.
+	seg.dead.Add(id)
+	seg.mu.Unlock()
+	delete(m.owner, id)
+	m.liveN.Add(-1)
+	return true, nil
+}
+
+// searchShardMut probes one shard of a mutable index: the base index is
+// over-fetched by the shard's hidden-row bound (tombstones plus memtable
+// rows, so filtering can never starve the result below k), tombstoned
+// and shadowed base hits are dropped, hits are translated to global IDs
+// and merge keys, and the memtable is scanned exactly into the same
+// bounded queue. The shard read lock is held for the whole probe so a
+// concurrent hot swap can never tear the (base, globalID, segments)
+// triple.
+func (sx *ShardedIndex) searchShardMut(s int, out *shardOut, q, qScan []float32, k int, mode Mode, budget int) {
+	seg := sx.mut.segs[s]
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	base := sx.shards[s]
+	gids := sx.globalID[s]
+	// Over-fetch by exactly the number of invisible base rows: filtering
+	// them can then never starve the shard's contribution below k, and a
+	// pure-ingest workload (nothing hidden) pays no over-fetch at all.
+	kEff := k + seg.hidden
+	out.ns, out.st, out.err = base.SearchInto(out.ns[:0], q, kEff, mode, budget)
+	if out.err != nil {
+		return
+	}
+	if out.rq == nil {
+		out.rq = heap.NewResultQueue(k)
+	}
+	rq := out.rq
+	rq.Reset(k)
+	ip := sx.metric == InnerProduct
+	for _, n := range out.ns {
+		gid := gids[n.ID]
+		if seg.dead.Has(gid) || seg.mem.Has(gid) {
+			continue
+		}
+		key := n.Distance
+		if ip {
+			key = -base.Score(n, q)
+		}
+		if key < rq.Threshold() {
+			rq.Push(gid, key)
+		}
+	}
+	memComp := seg.mem.Scan(qScan, ip, rq)
+	if memComp > 0 {
+		tot := out.st.Comparisons + int64(memComp)
+		out.st.ScanRate = (out.st.ScanRate*float64(out.st.Comparisons) + float64(memComp)) / float64(tot)
+		out.st.Comparisons = tot
+		if tot > 0 {
+			out.st.PrunedRate = float64(out.st.Pruned) / float64(tot)
+		}
+	}
+	out.ns = out.ns[:0]
+	nres := rq.Len()
+	for i := 0; i < nres; i++ {
+		out.ns = append(out.ns, Neighbor{})
+	}
+	for i := nres - 1; i >= 0; i-- {
+		it, _ := rq.PopMax()
+		out.ns[i] = Neighbor{ID: it.ID, Distance: it.Dist}
+	}
+}
+
+// baseUserRows extracts the caller-space vectors of one base index — the
+// rows a compaction feeds back into New. For L2 the internal rows are the
+// caller's; for Cosine they are the normalized rows (re-normalizing is
+// the identity); for InnerProduct the augmentation coordinate is
+// truncated off.
+func (sx *ShardedIndex) baseUserRows(base *Index) [][]float32 {
+	rows := make([][]float32, base.Len())
+	for i := range rows {
+		r := base.data.Row(i)
+		if sx.metric == InnerProduct {
+			r = r[:sx.userDim:sx.userDim]
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// compactInfo describes one finished shard compaction.
+type compactInfo struct {
+	shard    int
+	rows     int           // rows in the rebuilt base
+	memRows  int           // memtable rows folded in
+	dead     int           // tombstones retired
+	buildDur time.Duration // off-path rebuild + retrain time
+	swapDur  time.Duration // write-lock hold time of the hot swap
+}
+
+// compactShard rebuilds shard s from its live rows — base minus
+// tombstones and shadowed rows, plus the memtable — retrains every
+// recorded comparator on the rebuilt base, and hot-swaps it in under the
+// shard's write lock. Searches keep running against the old base for the
+// whole build; the swap itself is a few pointer stores. It returns false
+// when there was nothing to do (no pending segments, a concurrent
+// compaction already claimed the shard, or every row is deleted).
+func (sx *ShardedIndex) compactShard(s int) (bool, compactInfo, error) {
+	m := sx.mut
+	if m == nil {
+		return false, compactInfo{}, errors.New("resinfer: index is immutable")
+	}
+	if s < 0 || s >= len(m.segs) {
+		return false, compactInfo{}, fmt.Errorf("resinfer: shard %d out of range", s)
+	}
+	m.mu.Lock()
+	seg := m.segs[s]
+	if seg.compacting {
+		m.mu.Unlock()
+		return false, compactInfo{}, nil
+	}
+	seg.compacting = true
+	enables := append([]recordedEnable(nil), m.enables...)
+	opts := m.indexOpts
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		seg.compacting = false
+		m.mu.Unlock()
+	}()
+
+	// Snapshot the shard under the read lock: base and globalID are
+	// immutable objects (swaps replace, never mutate), the memtable and
+	// tombstones are copied.
+	seg.mu.RLock()
+	base := sx.shards[s]
+	baseIDs := sx.globalID[s]
+	memIDs, memRows, seqSnap := seg.mem.Snapshot()
+	deadSnap := seg.dead.Clone()
+	seg.mu.RUnlock()
+
+	if len(memIDs) == 0 && deadSnap.Len() == 0 {
+		return false, compactInfo{}, nil
+	}
+
+	memSet := make(map[int]struct{}, len(memIDs))
+	for _, id := range memIDs {
+		memSet[id] = struct{}{}
+	}
+	userRows := sx.baseUserRows(base)
+	rows := make([][]float32, 0, len(baseIDs)+len(memIDs))
+	ids := make([]int, 0, len(baseIDs)+len(memIDs))
+	for local, gid := range baseIDs {
+		if deadSnap.Has(gid) {
+			continue
+		}
+		if _, shadowed := memSet[gid]; shadowed {
+			continue
+		}
+		rows = append(rows, userRows[local])
+		ids = append(ids, gid)
+	}
+	rows = append(rows, memRows...)
+	ids = append(ids, memIDs...)
+	if len(rows) == 0 {
+		// Every row of the shard is deleted; there is nothing to build an
+		// index over. Leave the segments in place — searches already filter
+		// everything out — and let a future insert trigger the rebuild.
+		return false, compactInfo{}, nil
+	}
+
+	buildStart := time.Now()
+	newIdx, err := New(rows, sx.kind, opts)
+	if err != nil {
+		return false, compactInfo{}, fmt.Errorf("resinfer: compacting shard %d: %w", s, err)
+	}
+	for _, e := range enables {
+		if e.withTraining {
+			err = newIdx.EnableWithTraining(e.mode, e.trainQueries, e.opts)
+		} else {
+			err = newIdx.Enable(e.mode, e.opts)
+		}
+		if err != nil {
+			return false, compactInfo{}, fmt.Errorf("resinfer: retraining %s on compacted shard %d: %w", e.mode, s, err)
+		}
+	}
+	buildDur := time.Since(buildStart)
+
+	newBaseHas := make(map[int]struct{}, len(ids))
+	for _, gid := range ids {
+		newBaseHas[gid] = struct{}{}
+	}
+
+	// Hot swap: everything after the snapshot point survives in the
+	// segments — memtable rows written during the build stay (and shadow
+	// their compacted versions), tombstones added during the build stay
+	// (and filter the rebuilt base), consumed tombstones retire. The
+	// surviving segments are small (bounded by build-time churn), so the
+	// hidden-row recount under the lock is cheap.
+	m.mu.Lock()
+	// A mode enabled while the build was running trained against the old
+	// base; replay it on the rebuilt index before installing, or searches
+	// in that mode would fail on this shard after the swap. Training here
+	// holds mut.mu exactly as enableAll does — searches are unaffected,
+	// mutations wait.
+	for _, e := range m.enables {
+		if newIdx.Enabled(e.mode) {
+			continue
+		}
+		var rerr error
+		if e.withTraining {
+			rerr = newIdx.EnableWithTraining(e.mode, e.trainQueries, e.opts)
+		} else {
+			rerr = newIdx.Enable(e.mode, e.opts)
+		}
+		if rerr != nil {
+			m.mu.Unlock()
+			return false, compactInfo{}, fmt.Errorf("resinfer: retraining %s on compacted shard %d: %w", e.mode, s, rerr)
+		}
+	}
+	seg.mu.Lock()
+	swapStart := time.Now()
+	sx.shards[s] = newIdx
+	sx.globalID[s] = ids
+	seg.mem = seg.mem.CompactAfter(seqSnap)
+	seg.dead.Subtract(deadSnap)
+	seg.baseHas = newBaseHas
+	seg.hidden = 0
+	for _, gid := range seg.dead.IDs() {
+		if _, ok := newBaseHas[gid]; ok {
+			seg.hidden++
+		}
+	}
+	for i := 0; i < seg.mem.Len(); i++ {
+		gid := seg.mem.ID(i)
+		if _, ok := newBaseHas[gid]; !ok {
+			continue
+		}
+		if !seg.dead.Has(gid) {
+			seg.hidden++
+		}
+	}
+	swapDur := time.Since(swapStart)
+	seg.mu.Unlock()
+	m.mu.Unlock()
+
+	return true, compactInfo{
+		shard:    s,
+		rows:     len(rows),
+		memRows:  len(memIDs),
+		dead:     deadSnap.Len(),
+		buildDur: buildDur,
+		swapDur:  swapDur,
+	}, nil
+}
+
+// segDepth returns one shard's pending segment sizes.
+func (sx *ShardedIndex) segDepth(s int) (mem, dead int) {
+	seg := sx.mut.segs[s]
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	return seg.mem.Len(), seg.dead.Len()
+}

@@ -62,12 +62,19 @@ type ShardedIndex struct {
 	userDim  int
 	workers  int // shard fan-out width for single-query Search
 	fanPool  sync.Pool
+
+	// mut holds the streaming-ingestion state (per-shard memtables,
+	// tombstones, the ID allocator). nil on an immutable index, in which
+	// case every path below is identical to the read-only build.
+	mut *mutState
 }
 
 // shardOut is one shard's contribution before the merge. The ns slice is
-// pooled and reused across queries.
+// pooled and reused across queries; rq is the per-shard combining queue
+// of the mutable path (base hits + memtable hits), allocated lazily.
 type shardOut struct {
 	ns  []Neighbor
+	rq  *heap.ResultQueue
 	st  SearchStats
 	err error
 }
@@ -76,6 +83,8 @@ type shardOut struct {
 type fanScratch struct {
 	outs []shardOut
 	rq   *heap.ResultQueue
+	qbuf []float32        // mutable-path scan-space query scratch (Cosine)
+	seen map[int]struct{} // mutable-path merge dedup, reused across queries
 }
 
 func (sx *ShardedIndex) initFanPool() {
@@ -189,6 +198,13 @@ func (sx *ShardedIndex) EnableWithTraining(mode Mode, trainQueries [][]float32, 
 }
 
 func (sx *ShardedIndex) enableAll(mode Mode, trainQueries [][]float32, opts *Options, withTraining bool) error {
+	if sx.mut != nil {
+		// Serialize against compaction swaps so the new comparator lands on
+		// every shard's current base, and record the call so a compacted
+		// shard's rebuilt base is retrained with the same configuration.
+		sx.mut.mu.Lock()
+		defer sx.mut.mu.Unlock()
+	}
 	errs := make([]error, len(sx.shards))
 	var wg sync.WaitGroup
 	for s := range sx.shards {
@@ -206,6 +222,25 @@ func (sx *ShardedIndex) enableAll(mode Mode, trainQueries [][]float32, opts *Opt
 	for s, err := range errs {
 		if err != nil {
 			return fmt.Errorf("resinfer: enabling %s on shard %d: %w", mode, s, err)
+		}
+	}
+	if sx.mut != nil {
+		rec := recordedEnable{
+			mode: mode, trainQueries: trainQueries, opts: opts, withTraining: withTraining,
+		}
+		// Latest call per mode wins: a re-enable replaces its record, so
+		// compactions retrain each mode once and Save persists one entry
+		// (and one training-query set) per mode.
+		replaced := false
+		for i := range sx.mut.enables {
+			if sx.mut.enables[i].mode == mode {
+				sx.mut.enables[i] = rec
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			sx.mut.enables = append(sx.mut.enables, rec)
 		}
 	}
 	return nil
@@ -250,9 +285,24 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 	}
 	fs := sx.fanPool.Get().(*fanScratch)
 	outs := fs.outs
+	var qScan []float32
+	if sx.mut != nil {
+		var serr error
+		if qScan, serr = sx.scanQuery(fs, q); serr != nil {
+			sx.fanPool.Put(fs)
+			return dst, SearchStats{}, serr
+		}
+	}
+	shardSearch := func(s int) {
+		if sx.mut != nil {
+			sx.searchShardMut(s, &outs[s], q, qScan, k, mode, budget)
+			return
+		}
+		outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchInto(outs[s].ns[:0], q, k, mode, budget)
+	}
 	if workers <= 1 || len(sx.shards) == 1 {
-		for s, sh := range sx.shards {
-			outs[s].ns, outs[s].st, outs[s].err = sh.SearchInto(outs[s].ns[:0], q, k, mode, budget)
+		for s := range sx.shards {
+			shardSearch(s)
 		}
 	} else {
 		if workers > len(sx.shards) {
@@ -266,7 +316,7 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 			go func(s int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchInto(outs[s].ns[:0], q, k, mode, budget)
+				shardSearch(s)
 			}(s)
 		}
 		wg.Wait()
@@ -280,12 +330,24 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 // translating shard-local IDs to global ones. Shards rank by internal
 // squared distance, which is cross-shard comparable for L2 and Cosine; an
 // InnerProduct index augments vectors with a per-shard constant, so there
-// the merge ranks by the recovered native score instead (see Score).
+// the merge ranks by the recovered native score instead (see Score). On a
+// mutable index the per-shard results arrive already in global-ID /
+// merge-key form with tombstoned and shadowed rows filtered out (see
+// searchShardMut); the merge additionally drops any duplicate global ID
+// so a row can never be reported twice across segments.
 func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	var scanWeighted float64
 	rq := fs.rq
 	rq.Reset(k)
+	mutable := sx.mut != nil
+	if mutable {
+		if fs.seen == nil {
+			fs.seen = make(map[int]struct{}, 4*k)
+		} else {
+			clear(fs.seen)
+		}
+	}
 	for s := range fs.outs {
 		if fs.outs[s].err != nil {
 			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
@@ -295,12 +357,20 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 		agg.Pruned += st.Pruned
 		scanWeighted += st.ScanRate * float64(st.Comparisons)
 		for _, n := range fs.outs[s].ns {
-			key := n.Distance
-			if sx.metric == InnerProduct {
-				key = -sx.shards[s].Score(n, q)
+			id, key := n.ID, n.Distance
+			if mutable {
+				if _, dup := fs.seen[id]; dup {
+					continue
+				}
+				fs.seen[id] = struct{}{}
+			} else {
+				if sx.metric == InnerProduct {
+					key = -sx.shards[s].Score(n, q)
+				}
+				id = sx.globalID[s][n.ID]
 			}
 			if key < rq.Threshold() {
-				rq.Push(sx.globalID[s][n.ID], key)
+				rq.Push(id, key)
 			}
 		}
 	}
@@ -362,6 +432,9 @@ func (sx *ShardedIndex) Score(n Neighbor, q []float32) float32 {
 	if sx.metric == InnerProduct {
 		return -n.Distance
 	}
+	if len(sx.shards) == 0 || sx.shards[0] == nil {
+		return n.Distance
+	}
 	return sx.shards[0].Score(n, q)
 }
 
@@ -374,11 +447,24 @@ func (sx *ShardedIndex) Strategy() ShardStrategy { return sx.strategy }
 // Metric returns the index's similarity measure.
 func (sx *ShardedIndex) Metric() MetricKind { return sx.metric }
 
-// Len returns the total number of indexed vectors across shards.
-func (sx *ShardedIndex) Len() int { return sx.n }
+// Len returns the total number of indexed vectors across shards. On a
+// mutable index this is the live row count: inserts minus deletes,
+// unaffected by compaction.
+func (sx *ShardedIndex) Len() int {
+	if sx.mut != nil {
+		return int(sx.mut.liveN.Load())
+	}
+	return sx.n
+}
 
-// Dim returns the internal vector dimensionality (shards agree).
-func (sx *ShardedIndex) Dim() int { return sx.shards[0].Dim() }
+// Dim returns the internal vector dimensionality (shards agree). It
+// returns 0 on a corrupt index with no shards rather than panicking.
+func (sx *ShardedIndex) Dim() int {
+	if len(sx.shards) == 0 || sx.shards[0] == nil {
+		return 0
+	}
+	return sx.shards[0].Dim()
+}
 
 // QueryDim returns the dimensionality callers must present queries in.
 func (sx *ShardedIndex) QueryDim() int { return sx.userDim }
@@ -386,9 +472,13 @@ func (sx *ShardedIndex) QueryDim() int { return sx.userDim }
 // NumShards returns the shard count.
 func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
 
-// Modes lists the comparators enabled on every shard.
+// Modes lists the comparators enabled on every shard. It returns an
+// empty list on a corrupt index with no shards rather than panicking.
 func (sx *ShardedIndex) Modes() []Mode {
 	out := []Mode{}
+	if len(sx.shards) == 0 || sx.shards[0] == nil {
+		return out
+	}
 	for _, m := range sx.shards[0].Modes() {
 		if sx.Enabled(m) {
 			out = append(out, m)
@@ -399,9 +489,27 @@ func (sx *ShardedIndex) Modes() []Mode {
 
 // Save serializes the sharded index — strategy, global ID mapping, and
 // every shard with its enabled comparators — as one stream: a container
-// header followed by each shard in the single-index format.
+// header followed by each shard in the single-index format. A mutable
+// index must be saved through MutableIndex.Save, which additionally
+// persists the memtable and tombstone segments; saving it here would
+// silently drop pending mutations, so it is refused.
 func (sx *ShardedIndex) Save(w io.Writer) error {
+	if sx.mut != nil {
+		return errors.New("resinfer: index has streaming segments; save it through MutableIndex.Save")
+	}
 	pw := persist.NewWriter(w)
+	if err := sx.encodeSharded(pw); err != nil {
+		return err
+	}
+	return pw.Flush()
+}
+
+// encodeSharded writes the sharded container onto an existing persist
+// stream. It is the codec-level half of Save, shared with the mutable
+// RESSTRM1 container, which embeds it between its own header and the
+// per-shard streaming segments. The caller must hold whatever locks make
+// sx.shards/globalID stable.
+func (sx *ShardedIndex) encodeSharded(pw *persist.Writer) error {
 	pw.Magic(shardMagic)
 	pw.String(string(sx.strategy))
 	pw.Int(len(sx.shards))
@@ -413,12 +521,18 @@ func (sx *ShardedIndex) Save(w io.Writer) error {
 			return err
 		}
 	}
-	return pw.Flush()
+	return pw.Err()
 }
 
 // LoadSharded deserializes a sharded index written by Save.
 func LoadSharded(r io.Reader) (*ShardedIndex, error) {
-	pr := persist.NewReader(r)
+	return decodeSharded(persist.NewReader(r))
+}
+
+// decodeSharded reads one sharded container from an existing persist
+// reader (the codec-level half of LoadSharded, shared with the mutable
+// RESSTRM1 container).
+func decodeSharded(pr *persist.Reader) (*ShardedIndex, error) {
 	pr.Magic(shardMagic)
 	strategy := ShardStrategy(pr.String())
 	nShards := pr.Int()
@@ -429,6 +543,9 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 	}
 	if nShards <= 0 || nShards > n {
 		return nil, fmt.Errorf("resinfer: corrupt shard count %d (n=%d)", nShards, n)
+	}
+	if userDim <= 0 {
+		return nil, fmt.Errorf("resinfer: corrupt query dimensionality %d", userDim)
 	}
 	sx := &ShardedIndex{
 		strategy: strategy,
