@@ -55,6 +55,8 @@ func main() {
 		mutable       = flag.Bool("mutable", false, "serve a mutable (streaming) index: enables POST /upsert, /delete and /compact")
 		compactThresh = flag.Int("compact-threshold", resinfer.DefaultCompactThreshold, "per-shard memtable depth triggering background compaction (with -mutable)")
 		noAutoCompact = flag.Bool("no-auto-compact", false, "disable background compaction; compact only via POST /compact (with -mutable)")
+		walDir        = flag.String("wal-dir", "", "write-ahead log directory (with -mutable): mutations are crash-durable, and on start the directory's checkpoint + log are recovered")
+		walSyncFlag   = flag.String("wal-sync", "always", "WAL fsync policy: always | none | interval[=duration] (with -wal-dir)")
 
 		n     = flag.Int("n", 20000, "synthetic dataset size (ignored with -load)")
 		dim   = flag.Int("dim", 64, "synthetic dataset dimensionality (ignored with -load)")
@@ -70,9 +72,21 @@ func main() {
 	)
 	flag.Parse()
 
+	walSync, err := resinfer.ParseWALSync(*walSyncFlag)
+	if err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+	// A loaded/recovered index carries its own compaction knobs; only an
+	// explicitly given -compact-threshold overrides them.
+	threshSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "compact-threshold" {
+			threshSet = true
+		}
+	})
 	idx, err := buildOrLoad(*loadPath, *savePath, *kindFlag, *metric, *modesFlag,
 		*shards, *n, *dim, *train, *seed,
-		*mutable, *compactThresh, *noAutoCompact)
+		*mutable, *compactThresh, threshSet, *noAutoCompact, *walDir, walSync)
 	if err != nil {
 		log.Fatalf("annserve: %v", err)
 	}
@@ -101,27 +115,72 @@ func main() {
 }
 
 // buildOrLoad resolves the served index from flags: either a saved file
-// (format auto-detected from the magic: mutable, sharded or single) or a
-// fresh build over a synthetic dataset.
+// (format auto-detected from the magic: mutable, sharded or single), the
+// recovered durable state of a WAL directory, or a fresh build over a
+// synthetic dataset (onto which any checkpoint-less WAL records are
+// replayed — the same seed rebuilds the same base, so recovery works
+// even before the first compaction checkpoint exists).
 func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
 	shards, n, dim, train int, seed int64,
-	mutable bool, compactThresh int, noAutoCompact bool) (server.Searcher, error) {
+	mutable bool, compactThresh int, threshSet, noAutoCompact bool,
+	walDir string, walSync resinfer.WALSync) (server.Searcher, error) {
+
+	// forLoad options leave CompactThreshold at 0 unless the flag was
+	// given explicitly — LoadMutable/RecoverMutable then keep the
+	// persisted value instead of silently resetting it to the default.
+	mutOpts := func(index *resinfer.Options, forLoad bool) *resinfer.MutableOptions {
+		o := &resinfer.MutableOptions{
+			Index:              index,
+			CompactThreshold:   compactThresh,
+			DisableAutoCompact: noAutoCompact,
+			WALDir:             walDir,
+			WALSync:            walSync,
+		}
+		if forLoad && !threshSet {
+			o.CompactThreshold = 0
+		}
+		return o
+	}
 
 	if loadPath != "" {
 		format, err := sniffFormat(loadPath)
 		if err != nil {
 			return nil, err
 		}
+		if walDir != "" && format != formatMutable {
+			return nil, fmt.Errorf("-wal-dir needs a mutable index; %s is not one", loadPath)
+		}
 		switch format {
 		case formatMutable:
 			log.Printf("annserve: loading mutable (streaming) index from %s", loadPath)
-			return resinfer.LoadMutableFile(loadPath)
+			mx, err := resinfer.LoadMutableFile(loadPath, mutOpts(nil, true))
+			if err != nil {
+				return nil, err
+			}
+			logRecovery(mx)
+			return mx, nil
 		case formatSharded:
 			log.Printf("annserve: loading sharded index from %s", loadPath)
 			return resinfer.LoadShardedFile(loadPath)
 		default:
 			log.Printf("annserve: loading index from %s", loadPath)
 			return resinfer.LoadFile(loadPath)
+		}
+	}
+	if walDir != "" && !mutable {
+		return nil, fmt.Errorf("-wal-dir requires -mutable")
+	}
+	if walDir != "" {
+		// A previous run's compaction checkpoint is the authoritative
+		// state — recover it (plus the log tail) instead of rebuilding.
+		mx, found, err := resinfer.RecoverMutable(mutOpts(nil, true))
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			log.Printf("annserve: recovered mutable index from %s checkpoint", walDir)
+			logRecovery(mx)
+			return mx, nil
 		}
 	}
 
@@ -147,14 +206,11 @@ func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
 		}
 		log.Printf("annserve: building mutable %d-shard %s index (compact threshold %d)",
 			shards, kind, compactThresh)
-		mx, err := resinfer.NewMutable(ds.Data, kind, shards, &resinfer.MutableOptions{
-			Index:              opts,
-			CompactThreshold:   compactThresh,
-			DisableAutoCompact: noAutoCompact,
-		})
+		mx, err := resinfer.NewMutable(ds.Data, kind, shards, mutOpts(opts, false))
 		if err != nil {
 			return nil, err
 		}
+		logRecovery(mx)
 		for _, m := range modes {
 			log.Printf("annserve: enabling %s", m)
 			if err := mx.EnableWithTraining(m, ds.Train, opts); err != nil {
@@ -211,6 +267,21 @@ func buildOrLoad(loadPath, savePath, kindFlag, metric, modesFlag string,
 		log.Printf("annserve: saved to %s", savePath)
 	}
 	return ix, nil
+}
+
+// logRecovery prints the recover-on-start banner: how much WAL history
+// was replayed to bring the index back to its acknowledged state.
+func logRecovery(mx *resinfer.MutableIndex) {
+	rec := mx.WALRecovery()
+	if !rec.Enabled {
+		return
+	}
+	src := "fresh build"
+	if rec.Snapshot != "" {
+		src = rec.Snapshot
+	}
+	log.Printf("annserve: wal recovery: base=%s replayed %d upserts + %d deletes (torn segments: %d, lsn %d); %d rows live",
+		src, rec.Upserts, rec.Deletes, rec.TornSegments, rec.LastLSN, mx.Len())
 }
 
 func parseModes(s string) ([]resinfer.Mode, error) {

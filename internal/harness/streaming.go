@@ -23,10 +23,21 @@ type StreamingCheckpoint struct {
 	RecallAt10 float64 `json:"recall_at_10"`
 }
 
+// WALIngestResult measures the durability tax of one WAL sync policy:
+// an ingest-only workload identical to the no-WAL baseline, with every
+// mutation logged at that policy before it is applied.
+type WALIngestResult struct {
+	Policy          string  `json:"policy"`
+	NInsert         int     `json:"n_insert"`
+	IngestPerSec    float64 `json:"ingest_per_sec"`
+	RelativeToNoWAL float64 `json:"relative_to_no_wal"`
+}
+
 // StreamingResult is the machine-readable document cmd/bench writes to
 // BENCH_streaming.json: ingest throughput, the search QPS and latency
 // observed by concurrent clients while ingestion runs, recall@10 during
-// and after ingest, and the compaction/hot-swap counters.
+// and after ingest, the compaction/hot-swap counters, and the WAL
+// durability tax per sync policy.
 type StreamingResult struct {
 	Dataset          string  `json:"dataset"`
 	NBase            int     `json:"n_base"`
@@ -52,6 +63,8 @@ type StreamingResult struct {
 	MaxSwapMicros         int64                 `json:"max_swap_micros"`
 	LastBuildMillis       int64                 `json:"last_build_millis"`
 	MemtableRowsAtEnd     int                   `json:"memtable_rows_at_end"`
+	IngestNoWALPerSec     float64               `json:"ingest_no_wal_per_sec"`
+	WALIngest             []WALIngestResult     `json:"wal_ingest"`
 }
 
 // RunStreaming benchmarks the streaming ingestion subsystem end to end:
@@ -245,6 +258,21 @@ func RunStreaming(w io.Writer, outPath string) error {
 		return float64(latencies[i].Microseconds()) / 1000.0
 	}
 
+	// Durability tax: the same ingest-only workload against a fresh
+	// index, first without a WAL, then once per sync policy. Flat shards
+	// and no auto-compaction isolate the append path — base kind and
+	// rebuild cadence do not change what a WAL append costs.
+	fmt.Fprintf(w, "  wal durability tax (ingest-only):\n")
+	noWAL, walResults, err := walIngestTax(ds, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "    %-14s %9.0f vec/s  (baseline)\n", "no-wal", noWAL)
+	for _, r := range walResults {
+		fmt.Fprintf(w, "    %-14s %9.0f vec/s  (%.2fx of baseline, n=%d)\n",
+			r.Policy, r.IngestPerSec, r.RelativeToNoWAL, r.NInsert)
+	}
+
 	result := StreamingResult{
 		Dataset: "streaming-bench", NBase: nBase, NInsert: nIns, Dim: dim,
 		Kind: "hnsw", Shards: shards, Mode: string(mode), K: k, Budget: budget,
@@ -260,6 +288,8 @@ func RunStreaming(w io.Writer, outPath string) error {
 		MaxSwapMicros:         st.MaxSwapMicros,
 		LastBuildMillis:       st.LastBuildMillis,
 		MemtableRowsAtEnd:     memAtEnd,
+		IngestNoWALPerSec:     noWAL,
+		WALIngest:             walResults,
 	}
 	raw, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
@@ -274,4 +304,71 @@ func RunStreaming(w io.Writer, outPath string) error {
 		result.RecallFinal, result.Compactions, result.MaxSwapMicros)
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	return nil
+}
+
+// walIngestTax measures single-writer ingest throughput over a fresh
+// flat-sharded mutable index without a WAL (the baseline) and then with
+// one at each sync policy. SyncAlways pays one fsync per acknowledged
+// mutation, so it runs a smaller row count — throughput is normalized
+// either way.
+func walIngestTax(ds *dataset.Dataset, shards int) (noWAL float64, results []WALIngestResult, err error) {
+	nBase := scaled(2000, 200)
+	rows := scaled(3000, 300)
+	alwaysRows := scaled(300, 50)
+	if nBase > len(ds.Data) {
+		nBase = len(ds.Data)
+	}
+
+	measure := func(dir string, sync resinfer.WALSync, n int) (float64, error) {
+		mopts := &resinfer.MutableOptions{
+			DisableAutoCompact: true,
+			Index:              &resinfer.Options{Seed: 7},
+			WALDir:             dir,
+			WALSync:            sync,
+		}
+		mx, err := resinfer.NewMutable(ds.Data[:nBase], resinfer.Flat, shards, mopts)
+		if err != nil {
+			return 0, err
+		}
+		defer mx.Close()
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := mx.Add(ds.Data[nBase+i%(len(ds.Data)-nBase)]); err != nil {
+				return 0, err
+			}
+		}
+		return float64(n) / time.Since(t0).Seconds(), nil
+	}
+
+	noWAL, err = measure("", resinfer.WALSyncAlways(), rows)
+	if err != nil {
+		return 0, nil, err
+	}
+	policies := []struct {
+		name string
+		sync resinfer.WALSync
+		rows int
+	}{
+		{"sync-none", resinfer.WALSyncNone(), rows},
+		{"sync-interval", resinfer.WALSyncInterval(100 * time.Millisecond), rows},
+		{"sync-always", resinfer.WALSyncAlways(), alwaysRows},
+	}
+	for _, p := range policies {
+		dir, err := os.MkdirTemp("", "resinfer-walbench-*")
+		if err != nil {
+			return 0, nil, err
+		}
+		rate, err := measure(dir, p.sync, p.rows)
+		os.RemoveAll(dir)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal ingest (%s): %w", p.name, err)
+		}
+		results = append(results, WALIngestResult{
+			Policy:          p.name,
+			NInsert:         p.rows,
+			IngestPerSec:    rate,
+			RelativeToNoWAL: rate / noWAL,
+		})
+	}
+	return noWAL, results, nil
 }

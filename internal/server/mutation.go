@@ -42,10 +42,30 @@ type compactResponse struct {
 	Compacted int `json:"compacted"`
 }
 
+// decodeStrict decodes one JSON value rejecting unknown fields, so a
+// client typo ("vektor") fails loudly with a 400 instead of silently
+// mutating nothing — or the wrong row.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// mutationStatus maps a mutation-API error to an HTTP status: invalid
+// input (dimension mismatch, NaN/±Inf components) is the caller's fault,
+// anything else — a failed shard rebuild, a WAL append failure — is an
+// internal error.
+func mutationStatus(err error) int {
+	if errors.Is(err, resinfer.ErrInvalidVector) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	var req upsertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -59,7 +79,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	}
 	gid, err := s.mut.Upsert(id, req.Vector)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, mutationStatus(err), err)
 		return
 	}
 	s.metrics.upserts.Add(1)
@@ -69,7 +89,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	var req deleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -79,7 +99,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	deleted, err := s.mut.Delete(*req.ID)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, mutationStatus(err), err)
 		return
 	}
 	if deleted {
@@ -92,7 +112,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	compacted, err := s.mut.Compact()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, mutationStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, compactResponse{Compacted: compacted})

@@ -6,6 +6,11 @@
 // is perfect), the tombstone set filters both segments, and a background
 // compactor periodically folds both back into a rebuilt base index.
 //
+// Neither structure is durable on its own: crash durability comes from
+// the write-ahead log (internal/wal) the owning index appends every
+// mutation to before it reaches a memtable or tombstone set here, and
+// replays on recovery.
+//
 // Neither type locks internally — the owning shard serializes access
 // (searches under a read lock, mutations and compaction swaps under a
 // write lock).

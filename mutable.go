@@ -21,11 +21,17 @@ const (
 )
 
 // streamMagic marks the segment-aware mutable container: a header (ID
-// allocator, compaction knobs, recorded comparator trainings), the
-// embedded RESSHARD2 sharded payload, and one memtable + tombstone
-// section per shard — so an index saved mid-compaction, with a non-empty
-// memtable and pending tombstones, round-trips losslessly.
-const streamMagic = "RESSTRM1"
+// allocator, compaction knobs, WAL position, recorded comparator
+// trainings), the embedded RESSHARD2 sharded payload, and one memtable +
+// tombstone section per shard — so an index saved mid-compaction, with a
+// non-empty memtable and pending tombstones, round-trips losslessly.
+// Version 2 added the applied-WAL-LSN header field, the durability
+// anchor recovery replays the log against; v1 files (no WAL position)
+// still load.
+const (
+	streamMagic   = "RESSTRM2"
+	streamMagicV1 = "RESSTRM1"
+)
 
 // MutableOptions tunes a streaming (mutable) sharded index. The zero
 // value gives round-robin sharding, a 1024-row compaction threshold, and
@@ -49,6 +55,17 @@ type MutableOptions struct {
 	// DisableAutoCompact turns the background compactor off; segments
 	// then only fold back into the base via explicit Compact calls.
 	DisableAutoCompact bool
+	// WALDir, when non-empty, makes mutations crash-durable: every
+	// Add/Upsert/Delete is appended to a write-ahead log in this
+	// directory before it is applied, records found there are replayed
+	// at construction, and each completed compaction checkpoints the
+	// full state into the directory and trims the log. WAL settings are
+	// deployment-local: they are never persisted by Save and always come
+	// from the options at hand.
+	WALDir string
+	// WALSync is the log's fsync policy (default WALSyncAlways); see
+	// WALSyncAlways, WALSyncInterval, WALSyncNone.
+	WALSync WALSync
 }
 
 func (o *MutableOptions) withDefaults() MutableOptions {
@@ -88,6 +105,19 @@ type MutationStats struct {
 	// LastBuildMillis is the off-path rebuild+retrain time of the most
 	// recent compaction.
 	LastBuildMillis int64 `json:"last_build_millis"`
+	// WALEnabled reports whether mutations go through a write-ahead log.
+	WALEnabled bool `json:"wal_enabled,omitempty"`
+	// WALLastLSN is the sequence number of the newest logged record.
+	WALLastLSN uint64 `json:"wal_last_lsn,omitempty"`
+	// WALSegments is how many log segment files exist (bounded by
+	// checkpoint trimming).
+	WALSegments int `json:"wal_segments,omitempty"`
+	// WALCheckpoints counts checkpoint snapshots written after
+	// compactions.
+	WALCheckpoints int64 `json:"wal_checkpoints,omitempty"`
+	// WALCheckpointErrors counts failed checkpoint attempts (the index
+	// stays correct; the log just keeps more history than necessary).
+	WALCheckpointErrors int64 `json:"wal_checkpoint_errors,omitempty"`
 }
 
 // MutableIndex is a sharded AKNN index whose corpus can change while it
@@ -112,6 +142,10 @@ type MutableIndex struct {
 	lastSwapMicros atomic.Int64
 	maxSwapMicros  atomic.Int64
 	lastBuildMs    atomic.Int64
+	walCkpts       atomic.Int64
+	walCkptErrs    atomic.Int64
+
+	walRec WALRecovery // what construction replayed (zero without WAL)
 
 	kick     chan struct{}
 	done     chan struct{}
@@ -121,7 +155,12 @@ type MutableIndex struct {
 
 // NewMutable builds a mutable sharded index of the given kind over the
 // initial data (row index = global ID, exactly as with NewSharded) and
-// starts its background compactor.
+// starts its background compactor. With WALDir set, mutation records
+// already in the directory are replayed onto the fresh index before it
+// is returned — the recovery path for deterministically rebuilt corpora
+// that crashed before their first compaction checkpoint. A directory
+// that does hold a checkpoint snapshot is refused: rebuilding over it
+// would silently ignore durable state; use RecoverMutable.
 func NewMutable(data [][]float32, kind IndexKind, nShards int, opts *MutableOptions) (*MutableIndex, error) {
 	o := opts.withDefaults()
 	sx, err := NewSharded(data, kind, nShards, &ShardOptions{
@@ -133,7 +172,21 @@ func NewMutable(data [][]float32, kind IndexKind, nShards int, opts *MutableOpti
 		return nil, err
 	}
 	sx.enableMutation(o.Index)
-	return newMutableAround(sx, o), nil
+	var rec WALRecovery
+	if o.WALDir != "" {
+		if _, err := os.Stat(walCheckpointPath(o.WALDir)); err == nil {
+			return nil, fmt.Errorf(
+				"resinfer: %s holds a checkpoint snapshot; use RecoverMutable instead of rebuilding over it",
+				o.WALDir)
+		}
+		rec, err = attachWAL(sx, o, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mx := newMutableAround(sx, o)
+	mx.walRec = rec
+	return mx, nil
 }
 
 // newMutableAround wraps an already mutation-enabled ShardedIndex and
@@ -152,12 +205,18 @@ func newMutableAround(sx *ShardedIndex, o MutableOptions) *MutableIndex {
 	return mx
 }
 
-// Close stops the background compactor. Pending memtable rows and
-// tombstones stay in place (and persist through Save); searches and
-// explicit Compact calls keep working.
+// Close stops the background compactor and closes the write-ahead log
+// if one is attached. Pending memtable rows and tombstones stay in
+// place (and persist through Save); searches keep working. Without a
+// WAL, mutations and explicit Compact calls keep working too; with one,
+// further mutations fail — the durability guarantee would otherwise be
+// silently void.
 func (mx *MutableIndex) Close() {
 	mx.closeOne.Do(func() { close(mx.done) })
 	mx.wg.Wait()
+	if w := mx.sx.mut.wal; w != nil {
+		_ = w.Close()
+	}
 }
 
 // Add ingests a fresh vector and returns its assigned global ID.
@@ -200,7 +259,8 @@ func (mx *MutableIndex) Delete(id int) (bool, error) {
 
 // Compact synchronously compacts every shard with pending segments,
 // regardless of thresholds, and returns how many shards were rebuilt.
-// Searches keep running throughout.
+// Searches keep running throughout. With a WAL attached, one checkpoint
+// covering the whole pass is written at the end.
 func (mx *MutableIndex) Compact() (int, error) {
 	var compacted int
 	var firstErr error
@@ -210,6 +270,11 @@ func (mx *MutableIndex) Compact() (int, error) {
 			compacted++
 		}
 		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if compacted > 0 {
+		if err := mx.maybeWALCheckpoint(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -239,6 +304,7 @@ func (mx *MutableIndex) compactorLoop() {
 			return
 		case <-mx.kick:
 		}
+		var compacted bool
 		for s := 0; s < mx.sx.NumShards(); s++ {
 			select {
 			case <-mx.done:
@@ -247,8 +313,15 @@ func (mx *MutableIndex) compactorLoop() {
 			}
 			mem, dead := mx.sx.segDepth(s)
 			if mem >= mx.cfg.CompactThreshold || dead >= mx.cfg.TombstoneThreshold {
-				mx.runCompact(s)
+				if did, _ := mx.runCompact(s); did {
+					compacted = true
+				}
 			}
+		}
+		// One checkpoint covers the whole sweep — a wave that rebuilds
+		// every shard serializes the full state once, not once per shard.
+		if compacted {
+			mx.maybeWALCheckpoint()
 		}
 	}
 }
@@ -276,6 +349,21 @@ func (mx *MutableIndex) runCompact(s int) (bool, error) {
 	return true, nil
 }
 
+// maybeWALCheckpoint makes the current state the WAL's durability point
+// after a compaction pass (no-op without a WAL). A failed checkpoint
+// leaves the index correct — the log merely keeps more replay history —
+// so callers surface the error but continue serving.
+func (mx *MutableIndex) maybeWALCheckpoint() error {
+	if mx.sx.mut.wal == nil {
+		return nil
+	}
+	if err := mx.walCheckpoint(); err != nil {
+		mx.walCkptErrs.Add(1)
+		return fmt.Errorf("resinfer: wal checkpoint after compaction: %w", err)
+	}
+	return nil
+}
+
 // MutationStats snapshots the streaming counters.
 func (mx *MutableIndex) MutationStats() MutationStats {
 	st := MutationStats{
@@ -291,6 +379,13 @@ func (mx *MutableIndex) MutationStats() MutationStats {
 		mem, dead := mx.sx.segDepth(s)
 		st.MemtableRows += mem
 		st.Tombstones += dead
+	}
+	if w := mx.sx.mut.wal; w != nil {
+		st.WALEnabled = true
+		st.WALLastLSN = w.LastLSN()
+		st.WALSegments = w.SegmentCount()
+		st.WALCheckpoints = mx.walCkpts.Load()
+		st.WALCheckpointErrors = mx.walCkptErrs.Load()
 	}
 	return st
 }
@@ -367,9 +462,19 @@ func (mx *MutableIndex) Score(n Neighbor, q []float32) float32 { return mx.sx.Sc
 // round-trips losslessly. Mutations and hot swaps pause for the duration
 // of the write; searches do not.
 func (mx *MutableIndex) Save(w io.Writer) error {
+	_, err := mx.save(w)
+	return err
+}
+
+// save is Save returning the applied-WAL-LSN the snapshot covers — the
+// durability point walCheckpoint hands to the log's trimmer.
+func (mx *MutableIndex) save(w io.Writer) (uint64, error) {
 	m := mx.sx.mut
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Stable under m.mu: mutations advance it only while holding the
+	// same lock.
+	walLSN := m.appliedLSN.Load()
 	pw := persist.NewWriter(w)
 	pw.Magic(streamMagic)
 	pw.Int(m.nextID)
@@ -378,6 +483,7 @@ func (mx *MutableIndex) Save(w io.Writer) error {
 	pw.Int(mx.cfg.CompactThreshold)
 	pw.Int(mx.cfg.TombstoneThreshold)
 	pw.Bool(mx.cfg.DisableAutoCompact)
+	pw.U64(walLSN)
 	encodeOptions(pw, m.indexOpts)
 	pw.Int(len(m.enables))
 	for _, e := range m.enables {
@@ -387,7 +493,7 @@ func (mx *MutableIndex) Save(w io.Writer) error {
 		pw.F32Mat(e.trainQueries)
 	}
 	if err := mx.sx.encodeSharded(pw); err != nil {
-		return err
+		return 0, err
 	}
 	for _, seg := range m.segs {
 		seg.mu.RLock()
@@ -395,14 +501,36 @@ func (mx *MutableIndex) Save(w io.Writer) error {
 		seg.dead.Encode(pw)
 		seg.mu.RUnlock()
 	}
-	return pw.Flush()
+	return walLSN, pw.Flush()
 }
 
 // LoadMutable deserializes a mutable index written by Save and starts
-// its background compactor.
-func LoadMutable(r io.Reader) (*MutableIndex, error) {
+// its background compactor. opts may be nil; when given, its
+// deployment-local knobs overlay the persisted configuration: WALDir
+// and WALSync always (they are never persisted), the compaction
+// thresholds when explicitly non-zero. With a WALDir, every log record
+// newer than the persisted state (its applied-WAL-LSN header field) is
+// replayed onto the loaded index before it is returned, and subsequent
+// mutations append to the log.
+func LoadMutable(r io.Reader, opts *MutableOptions) (*MutableIndex, error) {
+	// Two header layouts share the stream structure: v2 carries the
+	// applied-WAL-LSN, v1 (pre-WAL) does not. Sniff the magic by hand so
+	// both load.
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("resinfer: reading mutable-index magic: %w", err)
+	}
+	var withLSN bool
+	switch string(magic[:]) {
+	case streamMagic:
+		withLSN = true
+	case streamMagicV1:
+		withLSN = false
+	default:
+		return nil, fmt.Errorf("resinfer: bad mutable-index magic %q (want %s or %s)",
+			magic, streamMagic, streamMagicV1)
+	}
 	pr := persist.NewReader(r)
-	pr.Magic(streamMagic)
 	nextID := pr.Int()
 	rr := pr.Int()
 	liveN := pr.I64()
@@ -410,6 +538,23 @@ func LoadMutable(r io.Reader) (*MutableIndex, error) {
 		CompactThreshold:   pr.Int(),
 		TombstoneThreshold: pr.Int(),
 		DisableAutoCompact: pr.Bool(),
+	}
+	var walLSN uint64
+	if withLSN {
+		walLSN = pr.U64()
+	}
+	if opts != nil {
+		cfg.WALDir = opts.WALDir
+		cfg.WALSync = opts.WALSync
+		if opts.CompactThreshold > 0 {
+			cfg.CompactThreshold = opts.CompactThreshold
+		}
+		if opts.TombstoneThreshold > 0 {
+			cfg.TombstoneThreshold = opts.TombstoneThreshold
+		}
+		if opts.DisableAutoCompact {
+			cfg.DisableAutoCompact = true
+		}
 	}
 	indexOpts := decodeOptions(pr)
 	nEnables := pr.Int()
@@ -512,7 +657,17 @@ func LoadMutable(r io.Reader) (*MutableIndex, error) {
 	if got := int64(len(m.owner)); got != liveN {
 		return nil, fmt.Errorf("resinfer: stream records %d live rows, segments yield %d", liveN, got)
 	}
-	return newMutableAround(sx, cfg), nil
+	m.appliedLSN.Store(walLSN)
+	var rec WALRecovery
+	if cfg.WALDir != "" {
+		rec, err = attachWAL(sx, cfg, walLSN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mx := newMutableAround(sx, cfg)
+	mx.walRec = rec
+	return mx, nil
 }
 
 // SaveFile writes the mutable index to a file.
@@ -528,14 +683,15 @@ func (mx *MutableIndex) SaveFile(path string) error {
 	return f.Sync()
 }
 
-// LoadMutableFile reads a mutable index from a file written by SaveFile.
-func LoadMutableFile(path string) (*MutableIndex, error) {
+// LoadMutableFile reads a mutable index from a file written by SaveFile;
+// opts behaves exactly as in LoadMutable.
+func LoadMutableFile(path string, opts *MutableOptions) (*MutableIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadMutable(f)
+	return LoadMutable(f, opts)
 }
 
 // encodeOptions writes an optional Options block field by field (the

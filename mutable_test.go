@@ -551,7 +551,7 @@ func TestMutableSaveLoadMidCompaction(t *testing.T) {
 	if err := mx.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadMutable(bytes.NewReader(buf.Bytes()))
+	loaded, err := LoadMutable(bytes.NewReader(buf.Bytes()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,12 +3,29 @@ package resinfer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"resinfer/internal/heap"
 	"resinfer/internal/stream"
+	"resinfer/internal/wal"
+)
+
+// Sentinel errors of the mutation API. Callers (notably internal/server)
+// branch HTTP status codes on errors.Is: an ErrInvalidVector is the
+// caller's fault (400), anything else — a failed shard rebuild, a WAL
+// append failure — is internal (500).
+var (
+	// ErrImmutable reports a mutation on an index that was not built
+	// with NewMutable.
+	ErrImmutable = errors.New("resinfer: index is immutable; build it with NewMutable")
+	// ErrInvalidVector reports a vector rejected at the mutation
+	// boundary: wrong dimensionality, or a NaN/±Inf component (which
+	// would poison exact memtable scans and corrupt comparator
+	// retraining on compaction).
+	ErrInvalidVector = errors.New("resinfer: invalid vector")
 )
 
 // This file is the streaming-ingestion substrate of ShardedIndex: each
@@ -56,6 +73,12 @@ type mutState struct {
 	liveN     atomic.Int64
 	enables   []recordedEnable
 	indexOpts *Options // per-shard build options, replayed on compaction
+
+	// wal, when non-nil, is appended to — under mu, so log order equals
+	// apply order — before any mutation is applied; appliedLSN tracks
+	// the last record applied to this index (what a snapshot covers).
+	wal        *wal.Log
+	appliedLSN atomic.Uint64
 }
 
 // Mutable reports whether the index accepts Add/Upsert/Delete.
@@ -97,7 +120,12 @@ func (sx *ShardedIndex) enableMutation(indexOpts *Options) {
 // merge keys of base-segment hits.
 func (sx *ShardedIndex) scanRow(v []float32) ([]float32, error) {
 	if len(v) != sx.userDim {
-		return nil, fmt.Errorf("resinfer: vector dim %d, index expects %d", len(v), sx.userDim)
+		return nil, fmt.Errorf("%w: dim %d, index expects %d", ErrInvalidVector, len(v), sx.userDim)
+	}
+	for i, x := range v {
+		if f := float64(x); math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("%w: component %d is %v", ErrInvalidVector, i, x)
+		}
 	}
 	row := make([]float32, len(v))
 	copy(row, v)
@@ -143,11 +171,14 @@ func (sx *ShardedIndex) Upsert(id int, v []float32) error {
 	return err
 }
 
-// mutUpsert is the shared insert path; id < 0 assigns a fresh ID.
+// mutUpsert is the shared insert path; id < 0 assigns a fresh ID. The
+// resolved (id, shard) is logged to the WAL — if one is attached —
+// before any state changes, so a failed append leaves the index
+// untouched and an applied mutation is always recoverable.
 func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
 	m := sx.mut
 	if m == nil {
-		return 0, errors.New("resinfer: index is immutable; build it with NewMutable")
+		return 0, ErrImmutable
 	}
 	row, err := sx.scanRow(v)
 	if err != nil {
@@ -156,20 +187,31 @@ func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var s int
+	fresh := false
 	if id < 0 {
 		id = m.nextID
-		m.nextID++
 		s = m.rr % len(m.segs)
-		m.rr++
-		m.owner[id] = s
-		m.liveN.Add(1)
+		fresh = true
 	} else if prev, live := m.owner[id]; live {
 		s = prev // replacement routes to the owning shard so the old row is shadowed there
 	} else {
+		s = m.rr % len(m.segs)
+		fresh = true
+	}
+	if m.wal != nil {
+		// Log the caller-space vector: replay re-executes this exact
+		// path (same validation, same Cosine normalization), so a
+		// recovered index is bit-identical to one that never crashed.
+		lsn, err := m.wal.AppendUpsert(s, id, v)
+		if err != nil {
+			return 0, fmt.Errorf("resinfer: wal append: %w", err)
+		}
+		m.appliedLSN.Store(lsn)
+	}
+	if fresh {
 		if id >= m.nextID {
 			m.nextID = id + 1
 		}
-		s = m.rr % len(m.segs)
 		m.rr++
 		m.owner[id] = s
 		m.liveN.Add(1)
@@ -196,13 +238,20 @@ func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
 func (sx *ShardedIndex) Delete(id int) (bool, error) {
 	m := sx.mut
 	if m == nil {
-		return false, errors.New("resinfer: index is immutable; build it with NewMutable")
+		return false, ErrImmutable
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, live := m.owner[id]
 	if !live {
 		return false, nil
+	}
+	if m.wal != nil {
+		lsn, err := m.wal.AppendDelete(s, id)
+		if err != nil {
+			return false, fmt.Errorf("resinfer: wal append: %w", err)
+		}
+		m.appliedLSN.Store(lsn)
 	}
 	seg := m.segs[s]
 	seg.mu.Lock()
@@ -321,7 +370,7 @@ type compactInfo struct {
 func (sx *ShardedIndex) compactShard(s int) (bool, compactInfo, error) {
 	m := sx.mut
 	if m == nil {
-		return false, compactInfo{}, errors.New("resinfer: index is immutable")
+		return false, compactInfo{}, ErrImmutable
 	}
 	if s < 0 || s >= len(m.segs) {
 		return false, compactInfo{}, fmt.Errorf("resinfer: shard %d out of range", s)
