@@ -67,7 +67,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("building %s index over %d x %d vectors...\n", *kind, len(data), len(data[0]))
+	fmt.Printf("building %s index over %d x %d vectors (simd: %s)...\n",
+		*kind, len(data), len(data[0]), resinfer.SIMDLevel())
 	start := time.Now()
 	ix, err := resinfer.New(data, resinfer.IndexKind(*kind), &resinfer.Options{Seed: *seed})
 	if err != nil {

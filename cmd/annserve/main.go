@@ -106,8 +106,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = srv.Serve(ctx, *addr, func(bound string) {
-		log.Printf("annserve: serving %d points (query dim %d, modes %v) on %s",
-			idx.Len(), idx.QueryDim(), idx.Modes(), bound)
+		log.Printf("annserve: serving %d points (query dim %d, modes %v, simd %s) on %s",
+			idx.Len(), idx.QueryDim(), idx.Modes(), resinfer.SIMDLevel(), bound)
 	})
 	if err != nil {
 		log.Fatalf("annserve: %v", err)

@@ -26,17 +26,25 @@ type KernelsReport struct {
 	N   int `json:"n"`
 	Dim int `json:"dim"`
 
-	// Distance kernels (ns/op on one Dim-length pair).
-	DotNsOp  float64 `json:"dot_ns_op"`
-	L2SqNsOp float64 `json:"l2sq_ns_op"`
+	// Kernel implementation selected by runtime dispatch for this run:
+	// "avx2+fma", "neon" or "generic" (see vec.Level).
+	SIMDLevel string `json:"simd_level"`
+
+	// Distance kernels (ns/op on one Dim-length pair): the dispatched
+	// kernels (SIMD on supporting hosts) vs the portable generic path,
+	// and the resulting speedups.
+	DotNsOp         float64 `json:"dot_ns_op"`
+	L2SqNsOp        float64 `json:"l2sq_ns_op"`
+	DotGenericNsOp  float64 `json:"dot_generic_ns_op"`
+	L2SqGenericNsOp float64 `json:"l2sq_generic_ns_op"`
+	DotSpeedup      float64 `json:"dot_speedup"`  // generic / dispatched
+	L2SqSpeedup     float64 `json:"l2sq_speedup"` // generic / dispatched
 
 	// Flat-scan Compare loop: one full k-NN scan over all N points
 	// through a result queue (ns per scanned point). "rows_seed" is the
 	// seed configuration (per-row heap slices, 4-way unrolled kernel),
-	// "rows8" isolates the kernel effect (per-row slices, 8-way kernel),
-	// "flat" is the contiguous matrix with the 8-way fused kernels.
+	// "flat" is the contiguous matrix with the fused dispatched kernels.
 	CompareRowsSeedNsOp float64 `json:"compare_rows_seed_ns_op"`
-	CompareRows8NsOp    float64 `json:"compare_rows8_ns_op"`
 	CompareFlatNsOp     float64 `json:"compare_flat_ns_op"`
 	CompareSpeedup      float64 `json:"compare_speedup"` // rows_seed / flat
 
@@ -110,7 +118,7 @@ func RunKernels(w io.Writer, outPath string) error {
 		dim = 128
 		k   = 10
 	)
-	rep := KernelsReport{N: n, Dim: dim}
+	rep := KernelsReport{N: n, Dim: dim, SIMDLevel: vec.Level()}
 	rng := rand.New(rand.NewSource(42))
 
 	mat, err := store.New(n, dim)
@@ -146,9 +154,27 @@ func RunKernels(w io.Writer, outPath string) error {
 		}
 	})
 	rep.L2SqNsOp = float64(l2Res.NsPerOp())
+	dotGenRes := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			sink += vec.DotGeneric(a, b)
+		}
+	})
+	rep.DotGenericNsOp = float64(dotGenRes.NsPerOp())
+	l2GenRes := testing.Benchmark(func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			sink += vec.L2SqGeneric(a, b)
+		}
+	})
+	rep.L2SqGenericNsOp = float64(l2GenRes.NsPerOp())
+	if rep.DotNsOp > 0 {
+		rep.DotSpeedup = rep.DotGenericNsOp / rep.DotNsOp
+	}
+	if rep.L2SqNsOp > 0 {
+		rep.L2SqSpeedup = rep.L2SqGenericNsOp / rep.L2SqNsOp
+	}
 
-	// --- Flat-scan Compare loop, rows (seed kernel) vs rows (8-way) vs
-	// contiguous matrix. Costs are reported per scanned point.
+	// --- Flat-scan Compare loop, rows (seed kernel) vs contiguous
+	// matrix with the dispatched kernels. Costs are per scanned point.
 	perPoint := func(r testing.BenchmarkResult) float64 {
 		return float64(r.NsPerOp()) / float64(n)
 	}
@@ -159,13 +185,6 @@ func RunKernels(w io.Writer, outPath string) error {
 		}
 	})
 	rep.CompareRowsSeedNsOp = perPoint(rowsSeed)
-	rows8 := testing.Benchmark(func(bm *testing.B) {
-		for i := 0; i < bm.N; i++ {
-			items := scanRows(rows, queries[i%len(queries)], k, vec.L2Sq)
-			sink += items[0].Dist
-		}
-	})
-	rep.CompareRows8NsOp = perPoint(rows8)
 
 	exact, err := core.NewExact(mat)
 	if err != nil {
@@ -254,10 +273,12 @@ func RunKernels(w io.Writer, outPath string) error {
 	}
 	_ = sink
 
-	fmt.Fprintf(w, "== Kernel / layout / pooling benchmarks (n=%d, dim=%d) ==\n", n, dim)
-	fmt.Fprintf(w, "dot: %.1f ns/op   l2sq: %.1f ns/op\n", rep.DotNsOp, rep.L2SqNsOp)
-	fmt.Fprintf(w, "compare loop (ns/point): rows+seed-kernel %.2f   rows+8way %.2f   flat+8way %.2f   speedup %.2fx\n",
-		rep.CompareRowsSeedNsOp, rep.CompareRows8NsOp, rep.CompareFlatNsOp, rep.CompareSpeedup)
+	fmt.Fprintf(w, "== Kernel / layout / pooling benchmarks (n=%d, dim=%d, simd=%s) ==\n", n, dim, rep.SIMDLevel)
+	fmt.Fprintf(w, "dot: %.1f ns/op (generic %.1f, %.2fx)   l2sq: %.1f ns/op (generic %.1f, %.2fx)\n",
+		rep.DotNsOp, rep.DotGenericNsOp, rep.DotSpeedup,
+		rep.L2SqNsOp, rep.L2SqGenericNsOp, rep.L2SqSpeedup)
+	fmt.Fprintf(w, "compare loop (ns/point): rows+seed-kernel %.2f   flat+dispatched %.2f   speedup %.2fx\n",
+		rep.CompareRowsSeedNsOp, rep.CompareFlatNsOp, rep.CompareSpeedup)
 	fmt.Fprintf(w, "steady-state flat search: %.0f allocs/op, %.0f ns/op\n", rep.SearchAllocsOp, rep.SearchNsOp)
 	fmt.Fprintf(w, "hnsw+ddcres: fresh-evaluator %.0f QPS, pooled %.0f QPS (%.2fx)\n",
 		rep.QPSFreshEvaluator, rep.QPSPooled, rep.QPSSpeedup)

@@ -88,6 +88,7 @@ type metrics struct {
 // rows, pending tombstones) and compaction/hot-swap timings.
 type StatsSnapshot struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	SIMDLevel      string  `json:"simd_level"`
 	Requests       int64   `json:"requests"`
 	Queries        int64   `json:"queries"`
 	Errors         int64   `json:"errors"`
@@ -108,6 +109,7 @@ type StatsSnapshot struct {
 func (m *metrics) snapshot() StatsSnapshot {
 	s := StatsSnapshot{
 		UptimeSeconds:  time.Since(m.start).Seconds(),
+		SIMDLevel:      resinfer.SIMDLevel(),
 		Requests:       m.requests.Load(),
 		Queries:        m.queries.Load(),
 		Errors:         m.errors.Load(),

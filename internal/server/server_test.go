@@ -160,6 +160,9 @@ func TestServerShardedRecall(t *testing.T) {
 	if stats.LatencyP99Ms <= 0 || stats.LatencyP50Ms > stats.LatencyP99Ms {
 		t.Fatalf("implausible latency quantiles: p50=%v p99=%v", stats.LatencyP50Ms, stats.LatencyP99Ms)
 	}
+	if stats.SIMDLevel != resinfer.SIMDLevel() || stats.SIMDLevel == "" {
+		t.Fatalf("stats.simd_level = %q, want %q", stats.SIMDLevel, resinfer.SIMDLevel())
+	}
 }
 
 func getJSON(t *testing.T, url string, out any) {

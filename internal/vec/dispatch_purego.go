@@ -1,0 +1,7 @@
+//go:build (!amd64 && !arm64) || noasm
+
+package vec
+
+// Architectures without assembly kernels (and any build with the `noasm`
+// tag) keep the package-default generic dispatch: dotImpl/l2sqImpl stay
+// on DotGeneric/L2SqGeneric and Level() reports "generic".

@@ -63,7 +63,9 @@ func SuffixWeightedSqInto(out []float64, a, w []float32) []float64 {
 // buffer (base = row*dim) without materializing a per-row slice header,
 // fusing the row addressing into the distance computation. They are
 // bit-identical to calling the slice kernels on the equivalent row views:
-// same unrolling, same accumulation order.
+// same kernel, same accumulation order — including whichever SIMD kernel
+// runtime dispatch selected, so the per-row compare loops of every DCO
+// inherit the assembly paths without modification.
 
 // L2SqFlat returns the squared Euclidean distance between q and the row
 // starting at offset base in the flat row-major buffer.

@@ -5,17 +5,34 @@
 //
 // All distance-like quantities in this code base are squared Euclidean
 // distances, matching the paper (squaring preserves the ordering of
-// distances, §II-A). Kernels accumulate in float32 with 8-way unrolling
+// distances, §II-A). The hot kernels (Dot, L2Sq and the fused flat-matrix
+// variants built on them) go through one-time runtime dispatch: on amd64
+// with AVX2+FMA and on arm64 (NEON) they run hand-written assembly, and
+// everywhere else — or under the `noasm` build tag, the RESINFER_NOSIMD
+// environment variable, or ForceGeneric — they run the portable generic
+// kernels. The generic kernels accumulate in float32 with 8-way unrolling
 // (eight independent accumulators keep the FP units busy without SIMD,
-// mirroring the scalar setting the paper evaluates under). Reductions that
-// feed statistics or training use the float64 variants to avoid
-// cancellation.
+// mirroring the scalar setting the paper evaluates under); the SIMD
+// kernels use wider lanes and fused multiply-add, so their sums can differ
+// from the generic ones by normal floating-point reassociation error.
+// Reductions that feed statistics or training use the float64 variants to
+// avoid cancellation.
 package vec
 
 import "math"
 
 // Dot returns the inner product <a, b>. The slices must have equal length.
 func Dot(a, b []float32) float32 {
+	if len(a) > 0 {
+		_ = b[len(a)-1] // bounds: b must cover a before the kernel runs unchecked
+	}
+	return dotImpl(a, b)
+}
+
+// DotGeneric is the portable scalar Dot kernel: 8-way unrolled, no SIMD.
+// It is the deterministic reference path the dispatched kernels are tested
+// against, and what Dot runs after ForceGeneric.
+func DotGeneric(a, b []float32) float32 {
 	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	n := len(a)
 	i := 0
@@ -47,6 +64,16 @@ func Dot64(a, b []float32) float64 {
 
 // L2Sq returns the squared Euclidean distance between a and b.
 func L2Sq(a, b []float32) float32 {
+	if len(a) > 0 {
+		_ = b[len(a)-1] // bounds: b must cover a before the kernel runs unchecked
+	}
+	return l2sqImpl(a, b)
+}
+
+// L2SqGeneric is the portable scalar L2Sq kernel: 8-way unrolled, no SIMD.
+// It is the deterministic reference path the dispatched kernels are tested
+// against, and what L2Sq runs after ForceGeneric.
+func L2SqGeneric(a, b []float32) float32 {
 	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	n := len(a)
 	i := 0

@@ -1,0 +1,147 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2+FMA float32 kernels. Both walk the inputs in 32-float blocks (four
+// YMM accumulators hide FMA latency), then an 8-float block loop, then a
+// scalar tail, so any length and any alignment is handled; loads are
+// unaligned (VMOVUPS) because callers pass arbitrary subslices of the flat
+// matrix. The wrappers in vec.go bounds-check b against len(a) before
+// dispatch, so the assembly reads exactly len(a) floats from each input.
+
+// func dotAVX2(a, b []float32) float32
+TEXT ·dotAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $5, DX            // DX = number of 32-float blocks
+	JZ   dot_tail8
+
+dot_block32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VFMADD231PS (DI), Y4, Y0
+	VFMADD231PS 32(DI), Y5, Y1
+	VFMADD231PS 64(DI), Y6, Y2
+	VFMADD231PS 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  dot_block32
+
+dot_tail8:
+	ANDQ $31, CX           // CX = remaining floats after 32-blocks
+	MOVQ CX, DX
+	SHRQ $3, DX            // DX = number of 8-float blocks
+	JZ   dot_reduce
+
+dot_block8:
+	VMOVUPS (SI), Y4
+	VFMADD231PS (DI), Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  dot_block8
+
+dot_reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	ANDQ $7, CX            // CX = scalar tail length
+	JZ   dot_done
+
+dot_scalar:
+	VMOVSS (SI), X1
+	VMOVSS (DI), X2
+	VFMADD231SS X2, X1, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  dot_scalar
+
+dot_done:
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func l2sqAVX2(a, b []float32) float32
+TEXT ·l2sqAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $5, DX
+	JZ   l2_tail8
+
+l2_block32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VSUBPS (DI), Y4, Y4
+	VSUBPS 32(DI), Y5, Y5
+	VSUBPS 64(DI), Y6, Y6
+	VSUBPS 96(DI), Y7, Y7
+	VFMADD231PS Y4, Y4, Y0
+	VFMADD231PS Y5, Y5, Y1
+	VFMADD231PS Y6, Y6, Y2
+	VFMADD231PS Y7, Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  l2_block32
+
+l2_tail8:
+	ANDQ $31, CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   l2_reduce
+
+l2_block8:
+	VMOVUPS (SI), Y4
+	VSUBPS (DI), Y4, Y4
+	VFMADD231PS Y4, Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  l2_block8
+
+l2_reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	ANDQ $7, CX
+	JZ   l2_done
+
+l2_scalar:
+	VMOVSS (SI), X1
+	VSUBSS (DI), X1, X1
+	VFMADD231SS X1, X1, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  l2_scalar
+
+l2_done:
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET

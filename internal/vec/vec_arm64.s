@@ -1,0 +1,134 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON float32 kernels. Both walk the inputs in 16-float blocks (four
+// 128-bit accumulators V0-V3), then a 4-float block loop, then a scalar
+// tail, so any length and alignment is handled. The Go arm64 assembler
+// has no mnemonic for the vector FSUB / FADDP forms, so those few
+// instructions are WORD-encoded against fixed registers; everything else
+// uses the assembler's VLD1/VFMLA/FMOVS support. The wrappers in vec.go
+// bounds-check b against len(a) before dispatch, so the assembly reads
+// exactly len(a) floats from each input.
+//
+// WORD encodings used (ARMv8 A64):
+//   FADDP Vd.4S, Vn.4S, Vm.4S = 0x6E20D400 | Rm<<16 | Rn<<5 | Rd
+//   FSUB  Vd.4S, Vn.4S, Vm.4S = 0x4EA0D400 | Rm<<16 | Rn<<5 | Rd
+
+// func dotNEON(a, b []float32) float32
+TEXT ·dotNEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	LSR  $4, R2, R3            // R3 = number of 16-float blocks
+	CBZ  R3, dot_tail4
+
+dot_block16:
+	VLD1.P 64(R0), [V4.S4, V5.S4, V6.S4, V7.S4]
+	VLD1.P 64(R1), [V16.S4, V17.S4, V18.S4, V19.S4]
+	VFMLA  V16.S4, V4.S4, V0.S4
+	VFMLA  V17.S4, V5.S4, V1.S4
+	VFMLA  V18.S4, V6.S4, V2.S4
+	VFMLA  V19.S4, V7.S4, V3.S4
+	SUB    $1, R3
+	CBNZ   R3, dot_block16
+
+dot_tail4:
+	AND  $15, R2, R4           // R4 = remaining floats after 16-blocks
+	LSR  $2, R4, R3            // R3 = number of 4-float blocks
+	CBZ  R3, dot_reduce
+
+dot_block4:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V16.S4]
+	VFMLA  V16.S4, V4.S4, V0.S4
+	SUB    $1, R3
+	CBNZ   R3, dot_block4
+
+dot_reduce:
+	WORD $0x6E21D400           // FADDP V0.4S, V0.4S, V1.4S
+	WORD $0x6E23D442           // FADDP V2.4S, V2.4S, V3.4S
+	WORD $0x6E22D400           // FADDP V0.4S, V0.4S, V2.4S
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S -> lane 0 = sum
+	AND  $3, R4, R2            // R2 = scalar tail length
+	CBZ  R2, dot_done
+
+dot_scalar:
+	FMOVS  (R0), F4
+	FMOVS  (R1), F5
+	FMADDS F4, F0, F5, F0      // F0 += F5 * F4
+	ADD    $4, R0
+	ADD    $4, R1
+	SUB    $1, R2
+	CBNZ   R2, dot_scalar
+
+dot_done:
+	FMOVS F0, ret+48(FP)
+	RET
+
+// func l2sqNEON(a, b []float32) float32
+TEXT ·l2sqNEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	LSR  $4, R2, R3
+	CBZ  R3, l2_tail4
+
+l2_block16:
+	VLD1.P 64(R0), [V4.S4, V5.S4, V6.S4, V7.S4]
+	VLD1.P 64(R1), [V16.S4, V17.S4, V18.S4, V19.S4]
+	WORD   $0x4EB0D484         // FSUB V4.4S, V4.4S, V16.4S
+	WORD   $0x4EB1D4A5         // FSUB V5.4S, V5.4S, V17.4S
+	WORD   $0x4EB2D4C6         // FSUB V6.4S, V6.4S, V18.4S
+	WORD   $0x4EB3D4E7         // FSUB V7.4S, V7.4S, V19.4S
+	VFMLA  V4.S4, V4.S4, V0.S4
+	VFMLA  V5.S4, V5.S4, V1.S4
+	VFMLA  V6.S4, V6.S4, V2.S4
+	VFMLA  V7.S4, V7.S4, V3.S4
+	SUB    $1, R3
+	CBNZ   R3, l2_block16
+
+l2_tail4:
+	AND  $15, R2, R4
+	LSR  $2, R4, R3
+	CBZ  R3, l2_reduce
+
+l2_block4:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V16.S4]
+	WORD   $0x4EB0D484         // FSUB V4.4S, V4.4S, V16.4S
+	VFMLA  V4.S4, V4.S4, V0.S4
+	SUB    $1, R3
+	CBNZ   R3, l2_block4
+
+l2_reduce:
+	WORD $0x6E21D400           // FADDP V0.4S, V0.4S, V1.4S
+	WORD $0x6E23D442           // FADDP V2.4S, V2.4S, V3.4S
+	WORD $0x6E22D400           // FADDP V0.4S, V0.4S, V2.4S
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S
+	AND  $3, R4, R2
+	CBZ  R2, l2_done
+
+l2_scalar:
+	FMOVS  (R0), F4
+	FMOVS  (R1), F5
+	FSUBS  F5, F4, F4          // F4 = F4 - F5
+	FMADDS F4, F0, F4, F0      // F0 += F4 * F4
+	ADD    $4, R0
+	ADD    $4, R1
+	SUB    $1, R2
+	CBNZ   R2, l2_scalar
+
+l2_done:
+	FMOVS F0, ret+48(FP)
+	RET

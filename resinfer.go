@@ -38,6 +38,7 @@ import (
 	"resinfer/internal/hnsw"
 	"resinfer/internal/ivf"
 	"resinfer/internal/store"
+	"resinfer/internal/vec"
 )
 
 // Mode selects a distance computation method.
@@ -464,6 +465,14 @@ func (ix *Index) searchSession(s *session, dst []Neighbor, q []float32, k, budge
 		PrunedRate:  st.PrunedRate(),
 	}, nil
 }
+
+// SIMDLevel reports which distance-kernel implementation runtime dispatch
+// selected for this process: "avx2+fma" (amd64 with AVX2 and FMA),
+// "neon" (arm64) or "generic" (the portable scalar fallback, also forced
+// by the `noasm` build tag or the RESINFER_NOSIMD=1 environment
+// variable). Deployments surface this in startup banners and /stats so a
+// silent fall back to the scalar path is visible.
+func SIMDLevel() string { return vec.Level() }
 
 // Kind returns the index structure.
 func (ix *Index) Kind() IndexKind { return ix.kind }
