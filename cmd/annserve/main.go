@@ -69,6 +69,10 @@ func main() {
 		batchMax    = flag.Int("batch-max", 64, "micro-batch size cap")
 		maxConc     = flag.Int("max-concurrent", 0, "max concurrent batch executions (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "SearchBatch worker count (0 = GOMAXPROCS)")
+
+		slowlogThresh = flag.Duration("slowlog-threshold", 250*time.Millisecond, "requests slower than this land in GET /debug/slowlog with per-stage timings (negative disables)")
+		accessLog     = flag.Bool("access-log", false, "emit one structured line per request to stderr")
+		pprofFlag     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -95,12 +99,15 @@ func main() {
 	}
 
 	srv := server.New(idx, server.Config{
-		DefaultK:      *k,
-		DefaultBudget: *budget,
-		BatchWindow:   *batchWindow,
-		BatchMaxSize:  *batchMax,
-		MaxConcurrent: *maxConc,
-		SearchWorkers: *workers,
+		DefaultK:         *k,
+		DefaultBudget:    *budget,
+		BatchWindow:      *batchWindow,
+		BatchMaxSize:     *batchMax,
+		MaxConcurrent:    *maxConc,
+		SearchWorkers:    *workers,
+		SlowLogThreshold: *slowlogThresh,
+		AccessLog:        *accessLog,
+		EnablePprof:      *pprofFlag,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

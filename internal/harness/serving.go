@@ -18,15 +18,25 @@ import (
 )
 
 // ServingEntry is the measurement for one DCO mode on the sharded
-// serving path: throughput and latency observed by concurrent HTTP
-// clients, plus the recall of the answers they received.
+// serving path. Latency quantiles come from two vantage points: P50Ms /
+// P99Ms are the server's own interpolated request-duration histogram
+// (the same numbers /stats and /metrics serve), while ClientP50Ms /
+// ClientP99Ms are measured by the HTTP clients and additionally include
+// the network round trip and client-side JSON work. The micro-batching
+// shape of the run is recorded from the server's batch-size and
+// queue-depth distributions.
 type ServingEntry struct {
-	Mode       string  `json:"mode"`
-	QPS        float64 `json:"qps"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MeanMs     float64 `json:"mean_ms"`
-	RecallAt10 float64 `json:"recall_at_10"`
+	Mode          string  `json:"mode"`
+	QPS           float64 `json:"qps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	ClientP50Ms   float64 `json:"client_p50_ms"`
+	ClientP99Ms   float64 `json:"client_p99_ms"`
+	AvgBatchSize  float64 `json:"avg_batch_size"`
+	BatchSizeP99  float64 `json:"batch_size_p99"`
+	QueueDepthP99 float64 `json:"queue_depth_p99"`
+	RecallAt10    float64 `json:"recall_at_10"`
 }
 
 // ServingResult is the machine-readable document cmd/bench writes to
@@ -49,7 +59,8 @@ type ServingResult struct {
 // builds a sharded HNSW index over a synthetic dataset, serves it through
 // internal/server on a loopback port, drives it with concurrent HTTP
 // clients for each mode, and writes the JSON result to outPath (progress
-// and a summary table go to w).
+// and a summary table go to w). Each mode gets a fresh server so its
+// /stats histograms describe that mode's traffic alone.
 func RunServing(w io.Writer, outPath string) error {
 	const (
 		dim     = 64
@@ -85,34 +96,18 @@ func RunServing(w io.Writer, outPath string) error {
 		}
 	}
 
-	srv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	ready := make(chan string, 1)
-	serveErr := make(chan error, 1)
-	go func() {
-		serveErr <- srv.Serve(ctx, "127.0.0.1:0", func(addr string) { ready <- addr })
-	}()
-	var base string
-	select {
-	case addr := <-ready:
-		base = "http://" + addr
-	case err := <-serveErr:
-		return err
-	}
-
 	result := ServingResult{
 		Dataset: "serving-bench", N: n, Dim: dim, Kind: "hnsw",
 		Shards: shards, K: k, Budget: budget, Clients: clients, Queries: nq,
 	}
 	for _, mode := range modes {
-		entry, err := driveClients(base, ds.Queries, gt, string(mode), k, budget, clients)
+		entry, err := runServingMode(sx, ds.Queries, gt, string(mode), k, budget, clients)
 		if err != nil {
 			return err
 		}
 		result.Entries = append(result.Entries, entry)
-		fmt.Fprintf(w, "  %-8s  qps=%8.1f  p50=%6.2fms  p99=%6.2fms  recall@10=%.4f\n",
-			entry.Mode, entry.QPS, entry.P50Ms, entry.P99Ms, entry.RecallAt10)
+		fmt.Fprintf(w, "  %-8s  qps=%8.1f  p50=%6.2fms  p99=%6.2fms  batch=%.1f  recall@10=%.4f\n",
+			entry.Mode, entry.QPS, entry.P50Ms, entry.P99Ms, entry.AvgBatchSize, entry.RecallAt10)
 	}
 
 	raw, err := json.MarshalIndent(result, "", "  ")
@@ -126,8 +121,50 @@ func RunServing(w io.Writer, outPath string) error {
 	return nil
 }
 
+// runServingMode serves the index on its own loopback port, drives the
+// clients for one mode, scrapes /stats, and shuts the server down.
+func runServingMode(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, mode string, k, budget, clients int) (ServingEntry, error) {
+	srv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ctx, "127.0.0.1:0", func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-serveErr:
+		return ServingEntry{}, err
+	}
+
+	entry, err := driveClients(base, queries, gt, mode, k, budget, clients)
+	if err != nil {
+		return ServingEntry{}, err
+	}
+
+	// The server-side view: request-latency quantiles interpolated from
+	// the /stats histogram, plus the micro-batching distributions the
+	// clients cannot see.
+	stats := srv.Stats()
+	entry.P50Ms = stats.LatencyP50Ms
+	entry.P99Ms = stats.LatencyP99Ms
+	entry.MeanMs = stats.LatencyMeanMs
+	entry.AvgBatchSize = stats.AvgBatchSize
+	entry.BatchSizeP99 = stats.BatchSizeP99
+	entry.QueueDepthP99 = stats.QueueDepthP99
+
+	cancel()
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed && err != context.Canceled {
+		return ServingEntry{}, err
+	}
+	return entry, nil
+}
+
 // driveClients fans queries across concurrent HTTP clients against the
-// /search endpoint and aggregates latency and recall.
+// /search endpoint and aggregates client-observed latency and recall.
 func driveClients(base string, queries [][]float32, gt [][]int, mode string, k, budget, clients int) (ServingEntry, error) {
 	type req struct {
 		Query  []float32 `json:"query"`
@@ -191,10 +228,6 @@ func driveClients(base string, queries [][]float32, gt [][]int, mode string, k, 
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	var sum time.Duration
-	for _, l := range latencies {
-		sum += l
-	}
 	quant := func(p float64) float64 {
 		i := int(p * float64(len(latencies)))
 		if i >= len(latencies) {
@@ -203,11 +236,10 @@ func driveClients(base string, queries [][]float32, gt [][]int, mode string, k, 
 		return float64(latencies[i].Microseconds()) / 1000.0
 	}
 	return ServingEntry{
-		Mode:       mode,
-		QPS:        float64(len(queries)) / elapsed.Seconds(),
-		P50Ms:      quant(0.50),
-		P99Ms:      quant(0.99),
-		MeanMs:     float64(sum.Microseconds()) / float64(len(latencies)) / 1000.0,
-		RecallAt10: dataset.Recall(results, gt, k),
+		Mode:        mode,
+		QPS:         float64(len(queries)) / elapsed.Seconds(),
+		ClientP50Ms: quant(0.50),
+		ClientP99Ms: quant(0.99),
+		RecallAt10:  dataset.Recall(results, gt, k),
 	}, nil
 }

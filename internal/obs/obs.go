@@ -1,0 +1,274 @@
+// Package obs is the serving-path observability substrate: a
+// zero-dependency metrics registry (counters, gauges, fixed-bucket
+// histograms with interpolated quantiles) rendered in Prometheus text
+// exposition format, plus a lightweight per-request trace recorder
+// (trace.go) and Go runtime metric registration (runtime.go).
+//
+// Design constraints, in order:
+//
+//  1. The hot path must stay allocation-free: Counter.Add, Gauge.Set
+//     and Histogram.Observe are single atomic operations (plus a
+//     binary search over a small fixed bound slice for histograms) and
+//     never allocate.
+//  2. Scrapes must be safe concurrently with traffic: every value is
+//     read atomically; a scrape observes each sample at some point
+//     within its own duration, and histogram renditions are internally
+//     consistent (cumulative buckets, _count and _sum all derive from
+//     one loaded snapshot of the bucket array).
+//  3. Zero module dependencies: everything is stdlib.
+//
+// Metric families are fixed at registration time — the label sets this
+// system needs (per-shard, per-endpoint) are known when the server
+// starts, so there is no dynamic label interning on the request path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric at registration.
+type Label struct {
+	Name, Value string
+}
+
+// metricType is the Prometheus TYPE of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// collector is one registered metric instance (a family member).
+type collector interface {
+	// write renders the metric's samples. name is the family name and
+	// labels the pre-rendered label pairs (without braces, "" if none).
+	write(w io.Writer, name, labels string)
+}
+
+// familyEntry pairs a collector with its rendered labels.
+type familyEntry struct {
+	labels string
+	c      collector
+}
+
+// family is all metrics sharing one name (and therefore one HELP/TYPE).
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	entries []familyEntry
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Registration is expected at startup; it is nevertheless safe (and
+// scrape-consistent) at any time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register adds c under name, creating the family on first use and
+// enforcing one TYPE/HELP per name.
+func (r *Registry) register(name, help string, typ metricType, labels []Label, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	f.entries = append(f.entries, familyEntry{labels: renderLabels(labels), c: c})
+}
+
+// Counter registers (or extends the family of) a monotonically
+// increasing counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, typeCounter, labels, c)
+	return c
+}
+
+// Gauge registers a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, typeGauge, labels, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// fn must be safe for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, typeGauge, labels, gaugeFunc(fn))
+}
+
+// Histogram registers a fixed-bucket histogram. bounds are the finite
+// ascending bucket upper bounds; an implicit +Inf bucket is appended.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, typeHistogram, labels, h)
+	return h
+}
+
+// WritePrometheus renders every family in registration order in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	copy(fams, r.order)
+	// Entry slices are append-only; snapshot the lengths so a concurrent
+	// registration cannot tear the iteration.
+	entries := make([][]familyEntry, len(fams))
+	for i, f := range fams {
+		entries[i] = f.entries[:len(f.entries):len(f.entries)]
+	}
+	r.mu.Unlock()
+
+	var buf strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.typ)
+		for _, e := range entries[i] {
+			e.c.write(&buf, f.name, e.labels)
+		}
+	}
+	_, err := io.WriteString(w, buf.String())
+	return err
+}
+
+// Counter is a monotonically increasing int64 counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, strconv.FormatInt(c.v.Load(), 10))
+}
+
+// Gauge is a settable float64 gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; contention on gauges is negligible here).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, formatFloat(g.Value()))
+}
+
+// gaugeFunc renders a scrape-time computed gauge.
+type gaugeFunc func() float64
+
+func (fn gaugeFunc) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, formatFloat(fn()))
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels pre-renders `k="v",...` (sorted by name for a stable
+// identity) at registration time so scrapes do no label work.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

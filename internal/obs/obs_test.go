@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Queue depth.", Label{"shard", "0"})
+	g.Set(3.5)
+	g.Add(-1.5)
+	r.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 7 }, Label{"shard", "1"})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 42\n",
+		"# TYPE test_depth gauge\n",
+		`test_depth{shard="0"} 2` + "\n",
+		`test_depth{shard="1"} 7` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE per family even with two members.
+	if strings.Count(out, "# TYPE test_depth gauge") != 1 {
+		t.Errorf("family header duplicated:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("test_esc", "esc", Label{"v", "a\"b\\c\nd"}).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing; got:\n%s", b.String())
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// All mass in the (1ms, 2ms] bucket: the old log2 histogram would
+	// report its upper bound (2ms) for every quantile; interpolation
+	// must spread estimates across the bucket.
+	h := NewHistogram([]float64{0.001, 0.002, 0.004})
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 + 0.001*float64(i)/1000)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.0013 || p50 > 0.0017 {
+		t.Errorf("p50 = %v, want ~0.0015 (interpolated)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.0019 || p99 > 0.002 {
+		t.Errorf("p99 = %v, want ~0.00199", p99)
+	}
+	if q := h.Quantile(0); q <= 0 || q > 0.0011 {
+		t.Errorf("p0 = %v, want at the bucket floor", q)
+	}
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(1, 2, 10)) // 1..512
+	// 100 obs in (1,2], 100 in (2,4].
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if q := h.Quantile(0.25); q < 1 || q > 2 {
+		t.Errorf("p25 = %v, want in (1,2]", q)
+	}
+	if q := h.Quantile(0.75); q < 2 || q > 4 {
+		t.Errorf("p75 = %v, want in (2,4]", q)
+	}
+	if h.Count() != 200 {
+		t.Errorf("count = %d, want 200", h.Count())
+	}
+	if math.Abs(h.Sum()-450) > 1e-6 {
+		t.Errorf("sum = %v, want 450", h.Sum())
+	}
+	if m := h.Mean(); math.Abs(m-2.25) > 1e-9 {
+		t.Errorf("mean = %v, want 2.25", m)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100)
+	if q := h.Quantile(0.99); q != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", q)
+	}
+	var b strings.Builder
+	r := NewRegistry()
+	r.register("test_h", "h", typeHistogram, nil, h)
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_h_bucket{le="1"} 0`,
+		`test_h_bucket{le="2"} 0`,
+		`test_h_bucket{le="+Inf"} 1`,
+		"test_h_count 1",
+		"test_h_sum 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestTraceRecordsStagesAndShards(t *testing.T) {
+	t0 := time.Now()
+	tr := NewTrace()
+	tr.ResetAt(t0)
+	s1 := time.Now()
+	time.Sleep(time.Millisecond)
+	tr.End("decode", s1)
+	tr.Shard(2, time.Now(), 5*time.Millisecond, 100, 40)
+	tr.SetBatchSize(8)
+	snap := tr.Snapshot()
+	if len(snap.Stages) != 1 || snap.Stages[0].Name != "decode" {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+	if snap.Stages[0].Dur < time.Millisecond {
+		t.Errorf("decode dur = %v, want >= 1ms", snap.Stages[0].Dur)
+	}
+	if len(snap.Shards) != 1 || snap.Shards[0].Shard != 2 ||
+		snap.Shards[0].Comparisons != 100 || snap.Shards[0].Pruned != 40 {
+		t.Fatalf("shards = %+v", snap.Shards)
+	}
+	if snap.Total < snap.Stages[0].Dur {
+		t.Errorf("total %v < stage dur %v", snap.Total, snap.Stages[0].Dur)
+	}
+
+	// Reset keeps capacity, clears content.
+	tr.ResetAt(time.Now())
+	if snap2 := tr.Snapshot(); len(snap2.Stages) != 0 || len(snap2.Shards) != 0 || snap2.BatchSize != 0 {
+		t.Fatalf("reset trace not empty: %+v", snap2)
+	}
+}
+
+func TestTraceNilReceiverSafe(t *testing.T) {
+	var tr *Trace
+	tr.ResetAt(time.Now())
+	tr.End("x", time.Now())
+	tr.Shard(0, time.Now(), 0, 0, 0)
+	tr.SetBatchSize(1)
+	if snap := tr.Snapshot(); len(snap.Stages) != 0 {
+		t.Fatal("nil trace snapshot not empty")
+	}
+}
+
+// TestConcurrentObserveAndScrape is the -race guard: observations on
+// every metric type concurrent with renders.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "c")
+	g := r.Gauge("test_g", "g")
+	h := r.Histogram("test_h_seconds", "h", ExponentialBuckets(1e-6, 2, 20))
+	RegisterGoRuntime(r)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Inc()
+			g.Add(1)
+			h.Observe(0.001)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "test_h_seconds_count") {
+			t.Fatal("scrape missing histogram count")
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Internal consistency after the dust settles: +Inf == count.
+	if h.Count() == 0 || c.Value() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterGoRuntime registers the go_* process metrics: goroutine
+// count, heap figures and GC activity. runtime.ReadMemStats stops the
+// world briefly, so one snapshot is shared by every memstats-backed
+// gauge and refreshed at most once per second regardless of how many
+// gauges a scrape reads.
+func RegisterGoRuntime(r *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	mem := func(get func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(last) > time.Second || last.IsZero() {
+				runtime.ReadMemStats(&ms)
+				last = time.Now()
+			}
+			return get(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.GaugeFunc("go_gc_cycles", "Completed GC cycles.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.GaugeFunc("go_gc_pause_seconds", "Cumulative stop-the-world GC pause time.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("go_gc_cpu_fraction", "Fraction of CPU time used by the GC since program start.",
+		mem(func(m *runtime.MemStats) float64 { return m.GCCPUFraction }))
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one named, timed step of a request pipeline. Start is the
+// offset from the trace origin.
+type Stage struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// ShardStage is one shard probe within the fan-out, with the work
+// counters the shard reported.
+type ShardStage struct {
+	Shard       int
+	Start       time.Duration
+	Dur         time.Duration
+	Comparisons int64
+	Pruned      int64
+}
+
+// Trace records the per-stage timeline of one request: HTTP decode →
+// admission-queue wait → shard fan-out → k-way merge → encode, plus a
+// per-shard breakdown. It is designed for pooling: Reset keeps the
+// accumulated slice capacity, so a pooled Trace records a whole request
+// without allocating at steady state. All methods are safe on a nil
+// receiver (no-ops), which keeps call sites branch-light, and safe for
+// concurrent use (shard probes run in parallel).
+type Trace struct {
+	mu        sync.Mutex
+	t0        time.Time
+	stages    []Stage
+	shards    []ShardStage
+	batchSize int
+}
+
+// NewTrace returns a trace with its origin at now.
+func NewTrace() *Trace {
+	t := &Trace{}
+	t.ResetAt(time.Now())
+	return t
+}
+
+// ResetAt clears the trace and sets its origin, keeping slice capacity.
+func (t *Trace) ResetAt(t0 time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.t0 = t0
+	t.stages = t.stages[:0]
+	t.shards = t.shards[:0]
+	t.batchSize = 0
+	t.mu.Unlock()
+}
+
+// End records a stage that started at start and ends now.
+func (t *Trace) End(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Start: start.Sub(t.t0), Dur: now.Sub(start)})
+	t.mu.Unlock()
+}
+
+// Shard records one shard probe.
+func (t *Trace) Shard(shard int, start time.Time, d time.Duration, comparisons, pruned int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.shards = append(t.shards, ShardStage{
+		Shard: shard, Start: start.Sub(t.t0), Dur: d,
+		Comparisons: comparisons, Pruned: pruned,
+	})
+	t.mu.Unlock()
+}
+
+// SetBatchSize records how many queries shared the micro-batch this
+// request rode in.
+func (t *Trace) SetBatchSize(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.batchSize = n
+	t.mu.Unlock()
+}
+
+// Snapshot is an immutable copy of a trace, safe to retain after the
+// trace returns to its pool.
+type Snapshot struct {
+	Total     time.Duration
+	BatchSize int
+	Stages    []Stage
+	Shards    []ShardStage
+}
+
+// Snapshot copies the recorded timeline; Total is the time from the
+// trace origin to this call.
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Total:     time.Since(t.t0),
+		BatchSize: t.batchSize,
+	}
+	if len(t.stages) > 0 {
+		s.Stages = append([]Stage(nil), t.stages...)
+	}
+	if len(t.shards) > 0 {
+		s.Shards = append([]ShardStage(nil), t.shards...)
+	}
+	return s
+}

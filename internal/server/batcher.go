@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"resinfer"
+	"resinfer/internal/obs"
 )
 
 // ErrServerClosed is returned to queries still queued when the server
@@ -32,6 +33,8 @@ type queryResult struct {
 type pendingQuery struct {
 	q    []float32
 	key  batchKey
+	tr   *obs.Trace       // nil unless the request is being traced
+	enq  time.Time        // when the query entered the queue
 	resp chan queryResult // buffered, capacity 1
 }
 
@@ -40,13 +43,14 @@ type pendingQuery struct {
 // one SearchBatch per parameter group, amortizing scheduling overhead
 // under concurrent load while keeping tail latency bounded by the window.
 type batcher struct {
-	idx     Searcher
-	in      chan pendingQuery
-	window  time.Duration
-	maxSize int
-	workers int           // workers handed to SearchBatch
-	sem     chan struct{} // shared concurrency limiter
-	m       *metrics
+	idx       Searcher
+	tracedIdx batchTracedSearcher // idx's traced variant, nil if unsupported
+	in        chan pendingQuery
+	window    time.Duration
+	maxSize   int
+	workers   int           // workers handed to SearchBatch
+	sem       chan struct{} // shared concurrency limiter
+	m         *metrics
 
 	done     chan struct{}
 	closeOne sync.Once
@@ -64,14 +68,15 @@ func newBatcher(idx Searcher, window time.Duration, maxSize, workers int, sem ch
 		m:       m,
 		done:    make(chan struct{}),
 	}
+	b.tracedIdx, _ = idx.(batchTracedSearcher)
 	b.wg.Add(1)
 	go b.run()
 	return b
 }
 
 // submit enqueues one query and waits for its result or ctx cancellation.
-func (b *batcher) submit(ctx context.Context, q []float32, key batchKey) queryResult {
-	pq := pendingQuery{q: q, key: key, resp: make(chan queryResult, 1)}
+func (b *batcher) submit(ctx context.Context, q []float32, key batchKey, tr *obs.Trace) queryResult {
+	pq := pendingQuery{q: q, key: key, tr: tr, enq: time.Now(), resp: make(chan queryResult, 1)}
 	select {
 	case <-b.done:
 		// Checked first: b.in is buffered, so a bare select could win the
@@ -82,6 +87,10 @@ func (b *batcher) submit(ctx context.Context, q []float32, key batchKey) queryRe
 	}
 	select {
 	case b.in <- pq:
+		// The depth histogram samples at admission: it sees the queue as
+		// arriving queries do, which is the distribution that matters for
+		// sizing the window and the cap.
+		b.m.queueHist.Observe(float64(b.m.queueDepth.Add(1)))
 	case <-b.done:
 		return queryResult{err: ErrServerClosed}
 	case <-ctx.Done():
@@ -177,6 +186,7 @@ func (b *batcher) drainQueue() {
 	for {
 		select {
 		case pq := <-b.in:
+			b.m.queueDepth.Add(-1)
 			pq.resp <- queryResult{err: ErrServerClosed}
 		default:
 			return
@@ -197,20 +207,47 @@ func (b *batcher) execute(batch []pendingQuery) {
 	}
 	for key, members := range groups {
 		queries := make([][]float32, len(members))
+		traced := false
 		for j, i := range members {
 			queries[j] = batch[i].q
+			if batch[i].tr != nil {
+				traced = true
+			}
 		}
-		results, err := b.idx.SearchBatch(queries, key.k, key.mode, key.budget, b.workers)
-		b.m.batches.Add(1)
+		// The queue wait ends here, as the group starts executing; every
+		// member shares the group's size for the batch histograms.
+		now := time.Now()
+		for _, i := range members {
+			pq := batch[i]
+			b.m.queueWait.Observe(now.Sub(pq.enq).Seconds())
+			pq.tr.End("queue_wait", pq.enq)
+			pq.tr.SetBatchSize(len(members))
+		}
+		b.m.batchSizes.Observe(float64(len(members)))
+
+		var results []resinfer.BatchResult
+		var err error
+		if traced && b.tracedIdx != nil {
+			traces := make([]*obs.Trace, len(members))
+			for j, i := range members {
+				traces[j] = batch[i].tr
+			}
+			results, err = b.tracedIdx.SearchBatchTraced(queries, key.k, key.mode, key.budget, b.workers, traces)
+		} else {
+			results, err = b.idx.SearchBatch(queries, key.k, key.mode, key.budget, b.workers)
+		}
+		b.m.batches.Inc()
 		b.m.batchedQueries.Add(int64(len(members)))
 		if err != nil {
 			for _, i := range members {
+				b.m.queueDepth.Add(-1)
 				batch[i].resp <- queryResult{err: err}
 			}
 			continue
 		}
 		for j, i := range members {
 			r := results[j]
+			b.m.queueDepth.Add(-1)
 			batch[i].resp <- queryResult{neighbors: r.Neighbors, stats: r.Stats, err: r.Err}
 		}
 	}

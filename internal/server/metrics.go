@@ -1,85 +1,76 @@
 package server
 
 import (
-	"math/bits"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"resinfer"
+	"resinfer/internal/obs"
 )
 
-// nLatencyBuckets covers latencies from <1µs up to >2^46µs in powers of
-// two, which is far beyond any plausible request duration.
-const nLatencyBuckets = 48
-
-// latencyHist is a lock-free log2-bucketed latency histogram: bucket i
-// holds requests whose latency in microseconds has bit-length i. Quantile
-// estimates are exact to within a factor of two, which is plenty for the
-// p50/p99 surfaced at /stats.
-type latencyHist struct {
-	buckets [nLatencyBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNs   atomic.Int64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	i := bits.Len64(uint64(us))
-	if i >= nLatencyBuckets {
-		i = nLatencyBuckets - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(d.Nanoseconds())
-}
-
-// quantile returns the upper bound, in milliseconds, of the bucket
-// containing the p-th percentile observation (p in [0,1]).
-func (h *latencyHist) quantile(p float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(p * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var seen int64
-	for i := 0; i < nLatencyBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > target {
-			upperUs := int64(1) << uint(i)
-			return float64(upperUs) / 1000.0
-		}
-	}
-	return 0
-}
-
-func (h *latencyHist) meanMs() float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return float64(h.sumNs.Load()) / float64(n) / 1e6
-}
-
-// metrics is the server's atomic counter set; every field is updated
-// lock-free on the request path and snapshotted at /stats.
+// metrics is the server's request-path instrumentation. Counters and
+// histograms live in an obs.Registry so one set of atomics backs both
+// the JSON document at /stats and the Prometheus exposition at
+// /metrics; every update on the request path is lock-free.
 type metrics struct {
-	start          time.Time
-	requests       atomic.Int64 // HTTP requests across all POST endpoints
-	queries        atomic.Int64 // individual queries answered
-	errors         atomic.Int64 // requests or queries that failed
-	batches        atomic.Int64 // SearchBatch executions by the micro-batcher
-	batchedQueries atomic.Int64 // queries that went through the micro-batcher
-	comparisons    atomic.Int64 // DCO threshold comparisons (visited candidates)
-	pruned         atomic.Int64 // candidates discarded from approximate distances
-	upserts        atomic.Int64 // vectors accepted via POST /upsert
-	deletes        atomic.Int64 // rows removed via POST /delete
-	latency        latencyHist  // whole-request latency
+	start time.Time
+	reg   *obs.Registry
+
+	requests       *obs.Counter // HTTP requests across all POST endpoints
+	queries        *obs.Counter // individual queries answered
+	errors         *obs.Counter // requests or queries that failed
+	batches        *obs.Counter // SearchBatch executions by the micro-batcher
+	batchedQueries *obs.Counter // queries that went through the micro-batcher
+	comparisons    *obs.Counter // DCO threshold comparisons (visited candidates)
+	pruned         *obs.Counter // candidates discarded from approximate distances
+	upserts        *obs.Counter // vectors accepted via POST /upsert
+	deletes        *obs.Counter // rows removed via POST /delete
+
+	latency    *obs.Histogram // whole-request latency, seconds
+	queueWait  *obs.Histogram // admission-queue wait, seconds
+	batchSizes *obs.Histogram // queries per micro-batch execution
+	queueHist  *obs.Histogram // admission-queue depth sampled at each enqueue
+	queueDepth atomic.Int64   // queries currently inside the micro-batcher
+}
+
+// latencyBuckets covers 10µs up to ~80s in powers of two — request
+// latencies under any plausible load, with interpolation inside each
+// bucket keeping quantile error far below the old factor-of-two bound.
+func latencyBuckets() []float64 { return obs.ExponentialBuckets(1e-5, 2, 23) }
+
+func (m *metrics) init(reg *obs.Registry) {
+	m.start = time.Now()
+	m.reg = reg
+	m.requests = reg.Counter("resinfer_http_requests_total", "HTTP requests accepted across all endpoints that do work.")
+	m.queries = reg.Counter("resinfer_queries_total", "Individual search queries answered successfully.")
+	m.errors = reg.Counter("resinfer_errors_total", "Requests or queries that failed.")
+	m.batches = reg.Counter("resinfer_batches_total", "SearchBatch executions issued by the micro-batcher.")
+	m.batchedQueries = reg.Counter("resinfer_batched_queries_total", "Queries that went through the micro-batching admission queue.")
+	m.comparisons = reg.Counter("resinfer_comparisons_total", "Distance-comparator threshold comparisons (candidates visited).")
+	m.pruned = reg.Counter("resinfer_pruned_total", "Candidates discarded from approximate distances alone.")
+	m.upserts = reg.Counter("resinfer_upserts_total", "Vectors accepted via POST /upsert.")
+	m.deletes = reg.Counter("resinfer_deletes_total", "Rows removed via POST /delete.")
+
+	m.latency = reg.Histogram("resinfer_request_duration_seconds",
+		"End-to-end request latency across /search and /search/batch.", latencyBuckets())
+	m.queueWait = reg.Histogram("resinfer_queue_wait_seconds",
+		"Time a query spent in the micro-batching admission queue before executing.",
+		obs.ExponentialBuckets(1e-5, 2, 18))
+	m.batchSizes = reg.Histogram("resinfer_batch_size",
+		"Queries per micro-batch execution.", obs.ExponentialBuckets(1, 2, 10))
+	m.queueHist = reg.Histogram("resinfer_queue_depth",
+		"Admission-queue depth sampled when each query is enqueued.",
+		obs.ExponentialBuckets(1, 2, 12))
+	reg.GaugeFunc("resinfer_queue_depth_current",
+		"Queries currently waiting in or executing from the admission queue.",
+		func() float64 { return float64(m.queueDepth.Load()) })
+	reg.GaugeFunc("resinfer_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.Gauge("resinfer_simd_level",
+		"Always 1; the level label names the active SIMD dispatch tier.",
+		obs.Label{Name: "level", Value: resinfer.SIMDLevel()}).Set(1)
 }
 
 // StatsSnapshot is the JSON document served at GET /stats. Mutation is
@@ -95,6 +86,11 @@ type StatsSnapshot struct {
 	Batches        int64   `json:"batches"`
 	BatchedQueries int64   `json:"batched_queries"`
 	AvgBatchSize   float64 `json:"avg_batch_size"`
+	BatchSizeP50   float64 `json:"batch_size_p50,omitempty"`
+	BatchSizeP99   float64 `json:"batch_size_p99,omitempty"`
+	QueueDepthP50  float64 `json:"queue_depth_p50,omitempty"`
+	QueueDepthP99  float64 `json:"queue_depth_p99,omitempty"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms,omitempty"`
 	Comparisons    int64   `json:"comparisons"`
 	Pruned         int64   `json:"pruned"`
 	Upserts        int64   `json:"upserts,omitempty"`
@@ -110,21 +106,123 @@ func (m *metrics) snapshot() StatsSnapshot {
 	s := StatsSnapshot{
 		UptimeSeconds:  time.Since(m.start).Seconds(),
 		SIMDLevel:      resinfer.SIMDLevel(),
-		Requests:       m.requests.Load(),
-		Queries:        m.queries.Load(),
-		Errors:         m.errors.Load(),
-		Batches:        m.batches.Load(),
-		BatchedQueries: m.batchedQueries.Load(),
-		Comparisons:    m.comparisons.Load(),
-		Pruned:         m.pruned.Load(),
-		Upserts:        m.upserts.Load(),
-		Deletes:        m.deletes.Load(),
-		LatencyMeanMs:  m.latency.meanMs(),
-		LatencyP50Ms:   m.latency.quantile(0.50),
-		LatencyP99Ms:   m.latency.quantile(0.99),
+		Requests:       m.requests.Value(),
+		Queries:        m.queries.Value(),
+		Errors:         m.errors.Value(),
+		Batches:        m.batches.Value(),
+		BatchedQueries: m.batchedQueries.Value(),
+		Comparisons:    m.comparisons.Value(),
+		Pruned:         m.pruned.Value(),
+		Upserts:        m.upserts.Value(),
+		Deletes:        m.deletes.Value(),
+		LatencyMeanMs:  m.latency.Mean() * 1e3,
+		LatencyP50Ms:   m.latency.Quantile(0.50) * 1e3,
+		LatencyP99Ms:   m.latency.Quantile(0.99) * 1e3,
 	}
 	if s.Batches > 0 {
 		s.AvgBatchSize = float64(s.BatchedQueries) / float64(s.Batches)
+		s.BatchSizeP50 = m.batchSizes.Quantile(0.50)
+		s.BatchSizeP99 = m.batchSizes.Quantile(0.99)
+		s.QueueDepthP50 = m.queueHist.Quantile(0.50)
+		s.QueueDepthP99 = m.queueHist.Quantile(0.99)
+		s.QueueWaitP99Ms = m.queueWait.Quantile(0.99) * 1e3
 	}
 	return s
+}
+
+// registerIndexMetrics wires whatever observability the served index
+// supports into the registry via capability probes, so the server stays
+// decoupled from concrete index types: per-shard search timings and
+// work counters, compaction build/swap durations, WAL append/fsync
+// latency, and memtable/tombstone/segment gauges.
+func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator) {
+	reg.GaugeFunc("resinfer_index_points", "Rows currently searchable in the index.",
+		func() float64 { return float64(idx.Len()) })
+
+	if so, ok := idx.(shardObservable); ok {
+		n := so.NumShards()
+		durs := make([]*obs.Histogram, n)
+		cmps := make([]*obs.Counter, n)
+		prns := make([]*obs.Counter, n)
+		for s := 0; s < n; s++ {
+			l := obs.Label{Name: "shard", Value: strconv.Itoa(s)}
+			durs[s] = reg.Histogram("resinfer_shard_search_duration_seconds",
+				"Per-shard search duration within the fan-out.", latencyBuckets(), l)
+			cmps[s] = reg.Counter("resinfer_shard_comparisons_total",
+				"Threshold comparisons performed by this shard.", l)
+			prns[s] = reg.Counter("resinfer_shard_pruned_total",
+				"Candidates this shard discarded from approximate distances.", l)
+		}
+		so.SetShardObserver(func(shard int, d time.Duration, st resinfer.SearchStats) {
+			if shard < 0 || shard >= n {
+				return
+			}
+			durs[shard].ObserveDuration(d)
+			cmps[shard].Add(st.Comparisons)
+			prns[shard].Add(st.Pruned)
+		})
+	}
+
+	if co, ok := idx.(compactionObservable); ok {
+		build := reg.Histogram("resinfer_compaction_build_seconds",
+			"Off-path rebuild+retrain duration of shard compactions.",
+			obs.ExponentialBuckets(1e-3, 2, 18))
+		swap := reg.Histogram("resinfer_compaction_swap_seconds",
+			"Write-lock hold time of compaction hot swaps.",
+			obs.ExponentialBuckets(1e-6, 2, 18))
+		swaps := reg.Counter("resinfer_compaction_hotswaps_total",
+			"Completed shard compactions (hot swaps).")
+		co.SetCompactionObserver(func(ci resinfer.CompactionInfo) {
+			build.ObserveDuration(ci.BuildDuration)
+			swap.ObserveDuration(ci.SwapDuration)
+			swaps.Inc()
+		})
+	}
+
+	if wo, ok := idx.(walObservable); ok {
+		appendH := reg.Histogram("resinfer_wal_append_seconds",
+			"WAL record append latency (serialize + write + inline fsync).",
+			obs.ExponentialBuckets(1e-6, 2, 20))
+		syncH := reg.Histogram("resinfer_wal_fsync_seconds",
+			"WAL fsync latency on the append path (SyncAlways only).",
+			obs.ExponentialBuckets(1e-6, 2, 20))
+		wo.SetWALObserver(func(appendDur, syncDur time.Duration) {
+			appendH.ObserveDuration(appendDur)
+			if syncDur > 0 {
+				syncH.ObserveDuration(syncDur)
+			}
+		})
+	}
+
+	if mut != nil {
+		// One cached MutationStats snapshot feeds every gauge below:
+		// MutationStats walks per-shard segment state under locks, so a
+		// scrape reading five gauges should not take it five times.
+		var (
+			mu   sync.Mutex
+			ms   resinfer.MutationStats
+			last time.Time
+		)
+		stat := func(get func(resinfer.MutationStats) float64) func() float64 {
+			return func() float64 {
+				mu.Lock()
+				defer mu.Unlock()
+				if last.IsZero() || time.Since(last) > time.Second {
+					ms = mut.MutationStats()
+					last = time.Now()
+				}
+				return get(ms)
+			}
+		}
+		reg.GaugeFunc("resinfer_memtable_rows", "Total memtable depth across shards.",
+			stat(func(m resinfer.MutationStats) float64 { return float64(m.MemtableRows) }))
+		reg.GaugeFunc("resinfer_tombstones", "Pending tombstoned deletes across shards.",
+			stat(func(m resinfer.MutationStats) float64 { return float64(m.Tombstones) }))
+		reg.GaugeFunc("resinfer_compactions", "Completed shard compactions.",
+			stat(func(m resinfer.MutationStats) float64 { return float64(m.Compactions) }))
+		reg.GaugeFunc("resinfer_compact_errors", "Failed compaction attempts.",
+			stat(func(m resinfer.MutationStats) float64 { return float64(m.CompactErrors) }))
+		reg.GaugeFunc("resinfer_wal_segments", "WAL segment files on disk.",
+			stat(func(m resinfer.MutationStats) float64 { return float64(m.WALSegments) }))
+	}
 }

@@ -63,7 +63,7 @@ func mutationStatus(err error) int {
 }
 
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
+	s.metrics.requests.Inc()
 	var req upsertRequest
 	if err := decodeStrict(r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -82,12 +82,12 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, mutationStatus(err), err)
 		return
 	}
-	s.metrics.upserts.Add(1)
+	s.metrics.upserts.Inc()
 	writeJSON(w, http.StatusOK, upsertResponse{ID: gid})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
+	s.metrics.requests.Inc()
 	var req deleteRequest
 	if err := decodeStrict(r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -103,13 +103,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if deleted {
-		s.metrics.deletes.Add(1)
+		s.metrics.deletes.Inc()
 	}
 	writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted})
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
+	s.metrics.requests.Inc()
 	compacted, err := s.mut.Compact()
 	if err != nil {
 		s.fail(w, mutationStatus(err), err)

@@ -1,16 +1,26 @@
 // Package server exposes a resinfer index (single or sharded) over an
 // HTTP JSON API:
 //
-//	POST /search        one query        {"query":[...],"k":10,"mode":"exact","budget":100}
-//	POST /search/batch  many queries     {"queries":[[...],...],"k":10,"mode":"exact","budget":100}
-//	GET  /stats         atomic request / latency / visited-count counters
-//	GET  /healthz       liveness plus index metadata
+//	POST /search         one query        {"query":[...],"k":10,"mode":"exact","budget":100}
+//	POST /search/batch   many queries     {"queries":[[...],...],"k":10,"mode":"exact","budget":100}
+//	GET  /stats          atomic request / latency / visited-count counters
+//	GET  /metrics        the same and more in Prometheus text format
+//	GET  /debug/slowlog  ring buffer of requests over the slow threshold
+//	GET  /healthz        liveness plus index metadata
 //
 // Single-query requests pass through a micro-batching admission queue:
 // they are collected for a short window (or until a size cap) and run as
 // one SearchBatch, so concurrent callers share scheduling overhead. A
 // semaphore bounds how many batch executions run at once, and every
-// counter surfaced at /stats is updated atomically on the request path.
+// counter surfaced at /stats and /metrics is updated lock-free on the
+// request path.
+//
+// A client can ask for its own request's pipeline timeline — decode,
+// admission-queue wait, shard fan-out (with per-shard timings), k-way
+// merge, encode — by sending the X-Resinfer-Trace: 1 header or
+// "trace": true in the body; the stages come back inline under "trace".
+// Requests slower than Config.SlowLogThreshold land in the slowlog ring
+// with the same breakdown.
 package server
 
 import (
@@ -18,12 +28,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"resinfer"
+	"resinfer/internal/obs"
 )
 
 // Searcher is the slice of the resinfer API the server needs; both
@@ -64,6 +79,15 @@ type Config struct {
 	// RequestTimeout caps how long one /search request may wait end to
 	// end (default 30s).
 	RequestTimeout time.Duration
+	// SlowLogThreshold sends requests slower than this to the
+	// /debug/slowlog ring with per-stage timings (default 250ms).
+	// Negative disables the slowlog — and with it the always-on tracing
+	// that feeds it.
+	SlowLogThreshold time.Duration
+	// AccessLog emits one structured line per request to stderr.
+	AccessLog bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.SlowLogThreshold == 0 {
+		c.SlowLogThreshold = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -98,12 +125,16 @@ func (c Config) withDefaults() Config {
 // ListenAndServe, stop with Close.
 type Server struct {
 	idx     Searcher
-	mut     Mutator // non-nil when idx also accepts mutations
+	traced  tracedSearcher // idx's traced variant, nil if unsupported
+	mut     Mutator        // non-nil when idx also accepts mutations
 	cfg     Config
 	metrics metrics
+	reg     *obs.Registry
+	slowlog *slowLog // nil when disabled
 	batcher *batcher // nil when micro-batching is disabled
 	sem     chan struct{}
 	mux     *http.ServeMux
+	access  *log.Logger // nil unless Config.AccessLog
 }
 
 // New wraps idx in a server. The caller must not reconfigure idx (e.g.
@@ -115,9 +146,18 @@ func New(idx Searcher, cfg Config) *Server {
 	s := &Server{
 		idx: idx,
 		cfg: c,
+		reg: obs.NewRegistry(),
 		sem: make(chan struct{}, c.MaxConcurrent),
 	}
-	s.metrics.start = time.Now()
+	s.traced, _ = idx.(tracedSearcher)
+	s.metrics.init(s.reg)
+	obs.RegisterGoRuntime(s.reg)
+	if c.SlowLogThreshold > 0 {
+		s.slowlog = newSlowLog(c.SlowLogThreshold)
+	}
+	if c.AccessLog {
+		s.access = log.New(os.Stderr, "", 0)
+	}
 	if c.BatchWindow > 0 {
 		s.batcher = newBatcher(idx, c.BatchWindow, c.BatchMaxSize, c.SearchWorkers, s.sem, &s.metrics)
 	}
@@ -125,18 +165,50 @@ func New(idx Searcher, cfg Config) *Server {
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.slowlog != nil {
+		s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	}
+	if c.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	if m, ok := idx.(Mutator); ok {
 		s.mut = m
 		s.mux.HandleFunc("POST /upsert", s.handleUpsert)
 		s.mux.HandleFunc("POST /delete", s.handleDelete)
 		s.mux.HandleFunc("POST /compact", s.handleCompact)
 	}
+	registerIndexMetrics(s.reg, idx, s.mut)
 	return s
 }
 
-// Handler returns the server's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (for tests and embedding),
+// wrapped in the access-log middleware when enabled.
+func (s *Server) Handler() http.Handler {
+	if s.access == nil {
+		return s.mux
+	}
+	return s.withAccessLog(s.mux)
+}
+
+// Registry exposes the server's metrics registry so embedders (the
+// bench harness, tests) can read the same histograms /metrics serves.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Stats returns the same snapshot served at GET /stats.
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.metrics.snapshot()
+	if s.mut != nil {
+		ms := s.mut.MutationStats()
+		snap.Mutation = &ms
+	}
+	return snap
+}
 
 // Close stops the micro-batcher, failing queries still queued.
 func (s *Server) Close() {
@@ -149,6 +221,44 @@ func (s *Server) Close() {
 // gracefully.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, addr, nil)
+}
+
+// batchSizeHeader carries the query count of a request so the
+// access-log middleware can log it without re-parsing the body.
+const batchSizeHeader = "X-Resinfer-Batch"
+
+// statusWriter captures the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withAccessLog emits one logfmt-style line per request to stderr:
+//
+//	ts=... method=POST path=/search status=200 dur_ms=1.042 batch=8 remote=127.0.0.1:53420
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		batch := sw.Header().Get(batchSizeHeader)
+		if batch == "" {
+			batch = "0"
+		}
+		s.access.Printf("ts=%s method=%s path=%s status=%d dur_ms=%.3f batch=%s remote=%s",
+			start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path, sw.status,
+			float64(time.Since(start))/float64(time.Millisecond), batch, r.RemoteAddr)
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // neighborJSON is one hit on the wire.
@@ -170,11 +280,13 @@ type searchRequest struct {
 	K      int       `json:"k"`
 	Mode   string    `json:"mode"`
 	Budget int       `json:"budget"`
+	Trace  bool      `json:"trace"`
 }
 
 type searchResponse struct {
 	Neighbors []neighborJSON `json:"neighbors"`
 	Stats     statsJSON      `json:"stats"`
+	Trace     *traceJSON     `json:"trace,omitempty"`
 }
 
 type batchSearchRequest struct {
@@ -242,13 +354,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.metrics.errors.Add(1)
+	s.metrics.errors.Inc()
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.metrics.requests.Add(1)
+	s.metrics.requests.Inc()
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -271,17 +383,40 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	w.Header().Set(batchSizeHeader, "1")
+
+	// Trace when the client asked (header or body flag) or whenever the
+	// slowlog is armed — a slow request is only diagnosable if its
+	// stages were being recorded while it ran. Traces are pooled and
+	// reset in place, so steady-state tracing does not allocate.
+	wantTrace := req.Trace || r.Header.Get("X-Resinfer-Trace") == "1"
+	var tr *obs.Trace
+	if wantTrace || s.slowlog != nil {
+		tr = getTrace(start)
+		defer putTrace(tr)
+		tr.End("decode", start)
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
 	var res queryResult
 	if s.batcher != nil {
-		res = s.batcher.submit(ctx, req.Query, key)
+		res = s.batcher.submit(ctx, req.Query, key, tr)
 	} else {
+		admit := time.Now()
 		s.sem <- struct{}{}
-		ns, st, err := s.idx.SearchWithStats(req.Query, key.k, key.mode, key.budget)
+		tr.End("admit", admit)
+		if tr != nil && s.traced != nil {
+			ns, st, err := s.traced.SearchWithStatsTraced(req.Query, key.k, key.mode, key.budget, tr)
+			res = queryResult{neighbors: ns, stats: st, err: err}
+		} else {
+			searchStart := time.Now()
+			ns, st, err := s.idx.SearchWithStats(req.Query, key.k, key.mode, key.budget)
+			tr.End("search", searchStart)
+			res = queryResult{neighbors: ns, stats: st, err: err}
+		}
 		<-s.sem
-		res = queryResult{neighbors: ns, stats: st, err: err}
 	}
 	if res.err != nil {
 		status := http.StatusBadRequest
@@ -291,19 +426,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, status, res.err)
 		return
 	}
-	s.metrics.queries.Add(1)
+	s.metrics.queries.Inc()
 	s.metrics.comparisons.Add(res.stats.Comparisons)
 	s.metrics.pruned.Add(res.stats.Pruned)
-	s.metrics.latency.observe(time.Since(start))
-	writeJSON(w, http.StatusOK, searchResponse{
+
+	resp := searchResponse{
 		Neighbors: toNeighborsJSON(res.neighbors),
 		Stats:     toStatsJSON(res.stats),
-	})
+	}
+	if tr != nil {
+		// Measure the encode stage by marshalling the response body
+		// before the trace is attached — the cost of double-encoding is
+		// paid only on traced requests, never on the plain path.
+		encStart := time.Now()
+		_, _ = json.Marshal(resp)
+		tr.End("encode", encStart)
+		snap := tr.Snapshot()
+		if wantTrace {
+			resp.Trace = toTraceJSON(snap)
+		}
+		if s.slowlog != nil && snap.Total >= s.slowlog.threshold {
+			s.slowlog.record("/search", string(key.mode), key.k, key.budget, len(req.Query), snap)
+		}
+	}
+	s.metrics.latency.ObserveDuration(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.metrics.requests.Add(1)
+	s.metrics.requests.Inc()
 	var req batchSearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -314,6 +466,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	w.Header().Set(batchSizeHeader, strconv.Itoa(len(req.Queries)))
 	s.sem <- struct{}{}
 	results, err := s.idx.SearchBatch(req.Queries, key.k, key.mode, key.budget, s.cfg.SearchWorkers)
 	<-s.sem
@@ -329,25 +482,20 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.Err != nil {
 			entry.Error = res.Err.Error()
-			s.metrics.errors.Add(1)
+			s.metrics.errors.Inc()
 		} else {
-			s.metrics.queries.Add(1)
+			s.metrics.queries.Inc()
 			s.metrics.comparisons.Add(res.Stats.Comparisons)
 			s.metrics.pruned.Add(res.Stats.Pruned)
 		}
 		out.Results[i] = entry
 	}
-	s.metrics.latency.observe(time.Since(start))
+	s.metrics.latency.ObserveDuration(time.Since(start))
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot()
-	if s.mut != nil {
-		ms := s.mut.MutationStats()
-		snap.Mutation = &ms
-	}
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 type healthResponse struct {
@@ -383,7 +531,7 @@ func (s *Server) Serve(ctx context.Context, addr string, onReady func(boundAddr 
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}
-	hs := &http.Server{Handler: s.mux}
+	hs := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	select {

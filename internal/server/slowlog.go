@@ -1,0 +1,110 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"resinfer/internal/obs"
+)
+
+// slowLogCapacity bounds the ring: the most recent slow requests are
+// kept, older ones are overwritten.
+const slowLogCapacity = 128
+
+// slowEntry is one over-threshold request: the query's shape and
+// parameters plus its per-stage timeline. The worst offender
+// additionally keeps the per-shard breakdown.
+type slowEntry struct {
+	Time       time.Time        `json:"time"`
+	Path       string           `json:"path"`
+	Mode       string           `json:"mode"`
+	K          int              `json:"k"`
+	Budget     int              `json:"budget"`
+	Dim        int              `json:"dim"`
+	BatchSize  int              `json:"batch_size,omitempty"`
+	DurationUs int64            `json:"duration_us"`
+	Stages     []traceStageJSON `json:"stages,omitempty"`
+	Shards     []traceShardJSON `json:"shards,omitempty"`
+}
+
+// slowLog is a fixed-size ring of requests that exceeded the slow-query
+// threshold. Recording is off the 99%+ fast path entirely (the caller
+// checks the threshold first), so a mutex is plenty.
+type slowLog struct {
+	threshold time.Duration
+
+	mu       sync.Mutex
+	ring     [slowLogCapacity]slowEntry
+	next     int
+	total    int64
+	worst    slowEntry
+	hasWorst bool
+}
+
+func newSlowLog(threshold time.Duration) *slowLog {
+	return &slowLog{threshold: threshold}
+}
+
+// record stores one slow request. The ring keeps per-stage timings;
+// the full per-shard breakdown is retained only for the worst offender
+// seen so far, where it matters for diagnosis.
+func (sl *slowLog) record(path, mode string, k, budget, dim int, snap obs.Snapshot) {
+	tj := toTraceJSON(snap)
+	e := slowEntry{
+		Time:       time.Now(),
+		Path:       path,
+		Mode:       mode,
+		K:          k,
+		Budget:     budget,
+		Dim:        dim,
+		BatchSize:  snap.BatchSize,
+		DurationUs: tj.TotalUs,
+		Stages:     tj.Stages,
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.ring[sl.next%slowLogCapacity] = e
+	sl.next++
+	sl.total++
+	if !sl.hasWorst || e.DurationUs > sl.worst.DurationUs {
+		e.Shards = tj.Shards
+		sl.worst = e
+		sl.hasWorst = true
+	}
+}
+
+// slowLogResponse is the JSON document at GET /debug/slowlog: newest
+// entry first, plus the worst offender with its shard breakdown.
+type slowLogResponse struct {
+	ThresholdMs float64     `json:"threshold_ms"`
+	Total       int64       `json:"total"`
+	Entries     []slowEntry `json:"entries"`
+	Worst       *slowEntry  `json:"worst,omitempty"`
+}
+
+func (sl *slowLog) snapshot() slowLogResponse {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	n := sl.next
+	if n > slowLogCapacity {
+		n = slowLogCapacity
+	}
+	out := slowLogResponse{
+		ThresholdMs: float64(sl.threshold) / float64(time.Millisecond),
+		Total:       sl.total,
+		Entries:     make([]slowEntry, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		out.Entries = append(out.Entries, sl.ring[(sl.next-1-i)%slowLogCapacity])
+	}
+	if sl.hasWorst {
+		w := sl.worst
+		out.Worst = &w
+	}
+	return out
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slowlog.snapshot())
+}

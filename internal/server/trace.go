@@ -1,0 +1,112 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/obs"
+)
+
+// Capability probes: the server asks the index it wraps for deeper
+// observability instead of depending on concrete types, so a plain
+// *resinfer.Index (no shards) degrades gracefully — requests still
+// trace the HTTP-level stages, just without the per-shard breakdown.
+type (
+	// shardObservable exposes per-shard search instrumentation;
+	// *resinfer.ShardedIndex and *resinfer.MutableIndex satisfy it.
+	shardObservable interface {
+		NumShards() int
+		SetShardObserver(func(shard int, d time.Duration, st resinfer.SearchStats))
+	}
+	// compactionObservable reports background compaction timings.
+	compactionObservable interface {
+		SetCompactionObserver(func(resinfer.CompactionInfo))
+	}
+	// walObservable reports WAL append/fsync latency when a log is
+	// attached (the bool mirrors MutableIndex.SetWALObserver).
+	walObservable interface {
+		SetWALObserver(func(appendDur, syncDur time.Duration)) bool
+	}
+	// tracedSearcher runs one query recording fan-out/merge stages and
+	// per-shard probes into the trace.
+	tracedSearcher interface {
+		SearchWithStatsTraced(q []float32, k int, mode resinfer.Mode, budget int, tr *obs.Trace) ([]resinfer.Neighbor, resinfer.SearchStats, error)
+	}
+	// batchTracedSearcher is the batch variant: traces[i] (nil entries
+	// allowed) receives query i's stages.
+	batchTracedSearcher interface {
+		SearchBatchTraced(queries [][]float32, k int, mode resinfer.Mode, budget, workers int, traces []*obs.Trace) ([]resinfer.BatchResult, error)
+	}
+)
+
+// tracePool recycles obs.Trace recorders across requests; ResetAt keeps
+// each trace's slice capacity, so tracing settles into zero steady-state
+// allocations per request.
+var tracePool = sync.Pool{New: func() any { return obs.NewTrace() }}
+
+func getTrace(t0 time.Time) *obs.Trace {
+	tr := tracePool.Get().(*obs.Trace)
+	tr.ResetAt(t0)
+	return tr
+}
+
+func putTrace(tr *obs.Trace) {
+	if tr != nil {
+		tracePool.Put(tr)
+	}
+}
+
+// traceStageJSON is one pipeline stage on the wire; offsets and
+// durations are microseconds from the request start.
+type traceStageJSON struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// traceShardJSON is one shard probe within the fan-out stage.
+type traceShardJSON struct {
+	Shard       int   `json:"shard"`
+	StartUs     int64 `json:"start_us"`
+	DurUs       int64 `json:"dur_us"`
+	Comparisons int64 `json:"comparisons"`
+	Pruned      int64 `json:"pruned"`
+}
+
+// traceJSON is the inline per-request timeline returned when the client
+// opts in via the X-Resinfer-Trace header or "trace": true in the body.
+type traceJSON struct {
+	TotalUs   int64            `json:"total_us"`
+	BatchSize int              `json:"batch_size,omitempty"`
+	Stages    []traceStageJSON `json:"stages"`
+	Shards    []traceShardJSON `json:"shards,omitempty"`
+}
+
+func toTraceJSON(snap obs.Snapshot) *traceJSON {
+	tj := &traceJSON{
+		TotalUs:   snap.Total.Microseconds(),
+		BatchSize: snap.BatchSize,
+		Stages:    make([]traceStageJSON, len(snap.Stages)),
+	}
+	for i, st := range snap.Stages {
+		tj.Stages[i] = traceStageJSON{
+			Name:    st.Name,
+			StartUs: st.Start.Microseconds(),
+			DurUs:   st.Dur.Microseconds(),
+		}
+	}
+	if len(snap.Shards) > 0 {
+		tj.Shards = make([]traceShardJSON, len(snap.Shards))
+		for i, sh := range snap.Shards {
+			tj.Shards[i] = traceShardJSON{
+				Shard:       sh.Shard,
+				StartUs:     sh.Start.Microseconds(),
+				DurUs:       sh.Dur.Microseconds(),
+				Comparisons: sh.Comparisons,
+				Pruned:      sh.Pruned,
+			}
+		}
+	}
+	return tj
+}

@@ -171,8 +171,23 @@ type Log struct {
 	failed      error // first write/sync failure: the log is fail-stop after it
 	closed      bool
 	appendBuf   []byte
+	obs         Observer // optional per-append instrumentation hook
 	flusherStop chan struct{}
 	flusherWG   sync.WaitGroup
+}
+
+// Observer receives per-append instrumentation: the total time spent
+// in the append (serialize + write + any inline fsync) and the fsync
+// portion alone (0 under SyncNone/SyncInterval, whose syncs happen off
+// the append path). It is called with the log's mutex held — keep it
+// to a few atomic operations.
+type Observer func(appendDur, syncDur time.Duration)
+
+// SetObserver installs (or, with nil, removes) the append observer.
+func (l *Log) SetObserver(fn Observer) {
+	l.mu.Lock()
+	l.obs = fn
+	l.mu.Unlock()
 }
 
 // Open opens (creating if needed) the log directory. Existing segments
@@ -287,6 +302,10 @@ func (l *Log) append(op Op, shard int, id int64, v []float32) (uint64, error) {
 }
 
 func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, error) {
+	var t0 time.Time
+	if l.obs != nil {
+		t0 = time.Now()
+	}
 	if l.closed {
 		return 0, ErrClosed
 	}
@@ -326,8 +345,13 @@ func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, err
 		return 0, err
 	}
 	l.nextLSN++
+	var syncDur time.Duration
 	switch l.policy.mode {
 	case syncAlways:
+		var s0 time.Time
+		if l.obs != nil {
+			s0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			// The record is written but not durable, and the mutation will
 			// be rejected; recovery may still replay it (the caller was
@@ -336,8 +360,14 @@ func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, err
 			l.failed = err
 			return 0, err
 		}
+		if l.obs != nil {
+			syncDur = time.Since(s0)
+		}
 	case syncInterval:
 		l.dirty = true
+	}
+	if l.obs != nil {
+		l.obs(time.Since(t0), syncDur)
 	}
 	return lsn, nil
 }

@@ -7,7 +7,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"resinfer/internal/obs"
 	"resinfer/internal/persist"
 	"resinfer/internal/stream"
 )
@@ -146,6 +148,11 @@ type MutableIndex struct {
 	walCkptErrs    atomic.Int64
 
 	walRec WALRecovery // what construction replayed (zero without WAL)
+
+	// compactObs, when set, receives one CompactionInfo per completed
+	// shard compaction. Atomic because the background compactor may
+	// already be running when the observer is installed.
+	compactObs atomic.Pointer[func(CompactionInfo)]
 
 	kick     chan struct{}
 	done     chan struct{}
@@ -346,7 +353,78 @@ func (mx *MutableIndex) runCompact(s int) (bool, error) {
 			break
 		}
 	}
+	if fn := mx.compactObs.Load(); fn != nil {
+		(*fn)(CompactionInfo{
+			Shard:         info.shard,
+			Rows:          info.rows,
+			MemtableRows:  info.memRows,
+			Tombstones:    info.dead,
+			BuildDuration: info.buildDur,
+			SwapDuration:  info.swapDur,
+		})
+	}
 	return true, nil
+}
+
+// CompactionInfo describes one completed shard compaction, delivered to
+// the observer installed with SetCompactionObserver.
+type CompactionInfo struct {
+	// Shard is the compacted shard.
+	Shard int
+	// Rows is the row count of the rebuilt base segment.
+	Rows int
+	// MemtableRows is how many memtable rows were folded in.
+	MemtableRows int
+	// Tombstones is how many pending deletes were retired.
+	Tombstones int
+	// BuildDuration is the off-path rebuild + retrain time.
+	BuildDuration time.Duration
+	// SwapDuration is the write-lock hold time of the hot swap.
+	SwapDuration time.Duration
+}
+
+// SetCompactionObserver installs fn to be called after every completed
+// shard compaction (from the compacting goroutine — background
+// compactor or an explicit Compact caller). Safe to install at any
+// time; fn must be safe for concurrent use with itself.
+func (mx *MutableIndex) SetCompactionObserver(fn func(CompactionInfo)) {
+	if fn == nil {
+		mx.compactObs.Store(nil)
+		return
+	}
+	mx.compactObs.Store(&fn)
+}
+
+// SetShardObserver forwards to ShardedIndex.SetShardObserver: fn
+// receives every shard probe's duration and work counters. Install it
+// before searches begin.
+func (mx *MutableIndex) SetShardObserver(fn func(shard int, d time.Duration, st SearchStats)) {
+	mx.sx.SetShardObserver(fn)
+}
+
+// SetWALObserver installs fn on the attached write-ahead log to
+// receive per-append instrumentation (total append latency and the
+// fsync portion). It reports whether a WAL is attached; without one it
+// is a no-op returning false.
+func (mx *MutableIndex) SetWALObserver(fn func(appendDur, syncDur time.Duration)) bool {
+	w := mx.sx.mut.wal
+	if w == nil {
+		return false
+	}
+	w.SetObserver(fn)
+	return true
+}
+
+// SearchWithStatsTraced is SearchWithStats recording per-stage and
+// per-shard timings into tr (nil tr is exactly SearchWithStats).
+func (mx *MutableIndex) SearchWithStatsTraced(q []float32, k int, mode Mode, budget int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
+	return mx.sx.SearchWithStatsTraced(q, k, mode, budget, tr)
+}
+
+// SearchBatchTraced is SearchBatch with optional per-query tracing;
+// see ShardedIndex.SearchBatchTraced.
+func (mx *MutableIndex) SearchBatchTraced(queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
+	return mx.sx.SearchBatchTraced(queries, k, mode, budget, workers, traces)
 }
 
 // maybeWALCheckpoint makes the current state the WAL's durability point

@@ -12,7 +12,9 @@ package resinfer_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"resinfer"
 )
@@ -30,7 +32,7 @@ const (
 	benchK   = 10
 )
 
-func benchSetup(b *testing.B) {
+func benchSetup(b testing.TB) {
 	benchOnce.Do(func() {
 		rng := rand.New(rand.NewSource(11))
 		data := make([][]float32, benchN)
@@ -139,5 +141,95 @@ func BenchmarkSearchBatchPooled(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+	}
+}
+
+// shardedObsSetup builds a 4-shard index with per-shard metrics
+// observation installed — the exact serving configuration of
+// internal/server with /metrics enabled and tracing off. SearchWorkers
+// is 1 because the sequential fan-out is the allocation-free path
+// (parallel fan-out allocates its semaphore and goroutines per query).
+func shardedObsSetup(b testing.TB) (*resinfer.ShardedIndex, func()) {
+	benchSetup(b)
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]float32, benchN)
+	for i := range data {
+		row := make([]float32, benchDim)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		data[i] = row
+	}
+	sx, err := resinfer.NewSharded(data, resinfer.Flat, 4,
+		&resinfer.ShardOptions{SearchWorkers: 1, Index: &resinfer.Options{Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sx.Enable(resinfer.DDCRes, nil); err != nil {
+		b.Fatal(err)
+	}
+	var observed atomic.Int64
+	sx.SetShardObserver(func(shard int, d time.Duration, st resinfer.SearchStats) {
+		observed.Add(1)
+	})
+	return sx, func() {
+		if observed.Load() == 0 {
+			b.Fatal("shard observer never fired: the benchmark is not measuring the metrics-on path")
+		}
+	}
+}
+
+// BenchmarkSearchIntoSteadyStateShardedMetricsOn is the observability
+// regression guard: per-shard metrics observation on the untraced
+// sharded hot path must stay 0 allocs/op — the observer is a plain
+// function call into lock-free histogram/counter atomics.
+func BenchmarkSearchIntoSteadyStateShardedMetricsOn(b *testing.B) {
+	sx, verify := shardedObsSetup(b)
+	var dst []resinfer.Neighbor
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, err = sx.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	verify()
+}
+
+// TestSearchIntoShardedMetricsOnZeroAlloc enforces the same bar in the
+// plain test suite (and under CI), without needing -bench: with a shard
+// observer installed and no trace attached, steady-state sharded search
+// performs zero heap allocations per query.
+func TestSearchIntoShardedMetricsOnZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	sx, _ := shardedObsSetup(t)
+	var dst []resinfer.Neighbor
+	// Warm the pools before measuring.
+	for i := 0; i < 8; i++ {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80)
+		i++
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded search with metrics on: %v allocs/op, want 0", allocs)
 	}
 }

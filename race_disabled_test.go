@@ -1,0 +1,5 @@
+//go:build !race
+
+package resinfer_test
+
+const raceEnabled = false

@@ -7,8 +7,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"resinfer/internal/heap"
+	"resinfer/internal/obs"
 	"resinfer/internal/persist"
 )
 
@@ -67,6 +69,23 @@ type ShardedIndex struct {
 	// tombstones, the ID allocator). nil on an immutable index, in which
 	// case every path below is identical to the read-only build.
 	mut *mutState
+
+	// shardObs, when non-nil, receives every shard probe's duration and
+	// work counters — the always-on metrics hook of internal/server. It
+	// must be installed before searches begin (SetShardObserver) and is
+	// nil-cheap: the untraced, unobserved fan-out does not even read the
+	// clock.
+	shardObs func(shard int, d time.Duration, st SearchStats)
+}
+
+// SetShardObserver installs fn as the per-shard probe observer: it is
+// called once per shard per query with the probe's wall duration and
+// the shard's SearchStats. Install it before serving begins — the field
+// is read without synchronization on the search path. fn must be fast
+// and must not allocate if the caller relies on the allocation-free
+// steady state.
+func (sx *ShardedIndex) SetShardObserver(fn func(shard int, d time.Duration, st SearchStats)) {
+	sx.shardObs = fn
 }
 
 // shardOut is one shard's contribution before the merge. The ns slice is
@@ -268,18 +287,28 @@ func (sx *ShardedIndex) Search(q []float32, k int, mode Mode, budget int) ([]Nei
 // aggregated across shards: Comparisons and Pruned are summed, ScanRate is
 // the comparison-weighted average.
 func (sx *ShardedIndex) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(nil, q, k, mode, budget, sx.workers)
+	return sx.searchFan(nil, q, k, mode, budget, sx.workers, nil)
+}
+
+// SearchWithStatsTraced is SearchWithStats additionally recording the
+// fan-out, merge and per-shard stage timings into tr (nil tr behaves
+// exactly like SearchWithStats).
+func (sx *ShardedIndex) SearchWithStatsTraced(q []float32, k int, mode Mode, budget int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
+	return sx.searchFan(nil, q, k, mode, budget, sx.workers, tr)
 }
 
 // SearchInto is SearchWithStats appending the hits to dst; with a reused
 // dst the whole fan-out runs without allocations at steady state.
 func (sx *ShardedIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(dst, q, k, mode, budget, sx.workers)
+	return sx.searchFan(dst, q, k, mode, budget, sx.workers, nil)
 }
 
 // searchFan queries up to workers shards concurrently through pooled
-// per-shard result buffers, then merges into dst.
-func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode, budget, workers int) ([]Neighbor, SearchStats, error) {
+// per-shard result buffers, then merges into dst. A non-nil tr records
+// the pipeline stages ("fanout", "merge") and one entry per shard; the
+// tr == nil path takes a single predictable branch per probe and stays
+// allocation-free.
+func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode, budget, workers int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
 	if len(q) != sx.userDim {
 		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
 	}
@@ -293,37 +322,76 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 			return dst, SearchStats{}, serr
 		}
 	}
-	shardSearch := func(s int) {
-		if sx.mut != nil {
-			sx.searchShardMut(s, &outs[s], q, qScan, k, mode, budget)
-			return
-		}
-		outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchInto(outs[s].ns[:0], q, k, mode, budget)
+	var fanStart time.Time
+	if tr != nil {
+		fanStart = time.Now()
 	}
 	if workers <= 1 || len(sx.shards) == 1 {
+		// The sequential fan-out calls the probe as a plain method; the
+		// parallel fan-out lives in its own method so no closure here
+		// captures qScan (which would heap-box it on every call). This
+		// path is allocation-free even with a shard observer installed.
 		for s := range sx.shards {
-			shardSearch(s)
+			sx.searchShardObs(s, outs, q, qScan, k, mode, budget, tr)
 		}
 	} else {
-		if workers > len(sx.shards) {
-			workers = len(sx.shards)
-		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for s := range sx.shards {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(s int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				shardSearch(s)
-			}(s)
-		}
-		wg.Wait()
+		sx.fanParallel(outs, q, qScan, k, mode, budget, workers, tr)
+	}
+	var mergeStart time.Time
+	if tr != nil {
+		tr.End("fanout", fanStart)
+		mergeStart = time.Now()
 	}
 	dst, st, err := sx.merge(dst, fs, q, k)
+	if tr != nil {
+		tr.End("merge", mergeStart)
+	}
 	sx.fanPool.Put(fs)
 	return dst, st, err
+}
+
+// fanParallel probes every shard with up to workers goroutines.
+func (sx *ShardedIndex) fanParallel(outs []shardOut, q, qScan []float32, k int, mode Mode, budget, workers int, tr *obs.Trace) {
+	if workers > len(sx.shards) {
+		workers = len(sx.shards)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for s := range sx.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sx.searchShardObs(s, outs, q, qScan, k, mode, budget, tr)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// searchShardObs probes one shard into outs[s], timing the probe when a
+// shard observer is installed or a trace is attached. The untimed path
+// costs a single branch.
+func (sx *ShardedIndex) searchShardObs(s int, outs []shardOut, q, qScan []float32, k int, mode Mode, budget int, tr *obs.Trace) {
+	obsOn := sx.shardObs != nil || tr != nil
+	var t0 time.Time
+	if obsOn {
+		t0 = time.Now()
+	}
+	if sx.mut != nil {
+		sx.searchShardMut(s, &outs[s], q, qScan, k, mode, budget)
+	} else {
+		outs[s].ns, outs[s].st, outs[s].err = sx.shards[s].SearchInto(outs[s].ns[:0], q, k, mode, budget)
+	}
+	if obsOn {
+		d := time.Since(t0)
+		if sx.shardObs != nil {
+			sx.shardObs(s, d, outs[s].st)
+		}
+		if tr != nil {
+			tr.Shard(s, t0, d, outs[s].st.Comparisons, outs[s].st.Pruned)
+		}
+	}
 }
 
 // merge k-way-merges per-shard results through the bounded result queue,
@@ -399,6 +467,14 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 // aligned with queries; per-query failures are reported in the result
 // rather than aborting the batch.
 func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
+	return sx.SearchBatchTraced(queries, k, mode, budget, workers, nil)
+}
+
+// SearchBatchTraced is SearchBatch with optional per-query tracing:
+// traces, when non-nil, is aligned with queries and each non-nil entry
+// receives its query's fan-out, merge and per-shard stage timings. A
+// nil traces slice (or nil entries) is exactly SearchBatch.
+func (sx *ShardedIndex) SearchBatchTraced(queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
 	if err := validateBatch(queries, k, budget, sx.userDim); err != nil {
 		return nil, err
 	}
@@ -411,7 +487,11 @@ func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budge
 		go func() {
 			defer wg.Done()
 			for qi := range idxCh {
-				ns, st, err := sx.searchFan(nil, queries[qi], k, mode, budget, 1)
+				var tr *obs.Trace
+				if qi < len(traces) {
+					tr = traces[qi]
+				}
+				ns, st, err := sx.searchFan(nil, queries[qi], k, mode, budget, 1, tr)
 				out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
 			}
 		}()
