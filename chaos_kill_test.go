@@ -1,0 +1,206 @@
+package resinfer_test
+
+// Process-level chaos test: SIGKILL annserve mid-ingest while an
+// injected fsync delay models a slow disk, then restart and verify
+// every acknowledged row survived WAL replay. The test builds and runs
+// the real binary (not an in-process server) so the kill is a genuine
+// process death — no deferred cleanup, no flushed buffers. It is
+// expensive and environment-sensitive, so it only runs when
+// RESINFER_CHAOS=1 (the CI chaos leg sets it).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const chaosDim = 16
+
+// startAnnserve launches the annserve binary with the given extra flags
+// and returns the process plus the address it bound (parsed from the
+// startup log line, so -addr 127.0.0.1:0 works).
+func startAnnserve(t *testing.T, bin, walDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := []string{
+		"-mutable", "-wal-dir", walDir, "-wal-sync", "always",
+		"-n", "500", "-dim", fmt.Sprint(chaosDim), "-shards", "2",
+		"-kind", "flat", "-modes", "exact", "-no-auto-compact",
+		"-seed", "7", "-addr", "127.0.0.1:0",
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, " on 127.0.0.1:"); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+4:])
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("annserve did not report a bound address within 30s")
+		return nil, ""
+	}
+}
+
+func healthzPoints(t *testing.T, addr string) int {
+	t.Helper()
+	var out struct {
+		Points int `json:"points"`
+	}
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Points
+	}
+	t.Fatal("healthz never answered")
+	return 0
+}
+
+func chaosUpsert(addr string, vec []float32) (int, error) {
+	body, _ := json.Marshal(map[string]any{"vector": vec})
+	resp, err := http.Post("http://"+addr+"/upsert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("upsert: status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+func chaosVec(fill float32) []float32 {
+	v := make([]float32, chaosDim)
+	for i := range v {
+		v[i] = fill
+	}
+	return v
+}
+
+// TestChaosKillMidIngest: acknowledged rows must survive a SIGKILL
+// delivered while ingestion is still in flight on a slow (fault-
+// injected) disk. Unacknowledged rows may or may not have reached the
+// disk — both outcomes are legal — so the row count is bounded, not
+// pinned.
+func TestChaosKillMidIngest(t *testing.T) {
+	if os.Getenv("RESINFER_CHAOS") != "1" {
+		t.Skip("chaos test: set RESINFER_CHAOS=1 to run")
+	}
+	bin := filepath.Join(t.TempDir(), "annserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/annserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building annserve: %v", err)
+	}
+	walDir := t.TempDir()
+
+	cmd, addr := startAnnserve(t, bin, walDir, "-faults", "wal.fsync:delay=2ms")
+	defer func() { _ = cmd.Process.Kill() }()
+	base := healthzPoints(t, addr)
+
+	// Phase 1: synchronous acknowledged ingest. Every one of these rows
+	// is a durability promise.
+	const acked = 40
+	marker := chaosVec(9.25) // distinctive: far outside the seeded base data
+	var markerID int
+	for i := 0; i < acked; i++ {
+		fill := 2 + float32(i)*0.01
+		if i == acked-1 {
+			id, err := chaosUpsert(addr, marker)
+			if err != nil {
+				t.Fatalf("acked upsert %d: %v", i, err)
+			}
+			markerID = id
+			continue
+		}
+		if _, err := chaosUpsert(addr, chaosVec(fill)); err != nil {
+			t.Fatalf("acked upsert %d: %v", i, err)
+		}
+	}
+
+	// Phase 2: fire-and-forget ingest pressure, then SIGKILL while
+	// appends are mid-flight behind the injected 2ms fsync latency.
+	const hammered = 50
+	go func() {
+		for i := 0; i < hammered; i++ {
+			_, _ = chaosUpsert(addr, chaosVec(5+float32(i)*0.01))
+		}
+	}()
+	time.Sleep(25 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Phase 3: restart on the same WAL dir (no faults) and audit.
+	cmd2, addr2 := startAnnserve(t, bin, walDir)
+	defer func() { _ = cmd2.Process.Kill() }()
+	after := healthzPoints(t, addr2)
+	if after < base+acked {
+		t.Fatalf("acknowledged rows lost across SIGKILL: %d points, want >= %d", after, base+acked)
+	}
+	if after > base+acked+hammered {
+		t.Fatalf("row count %d exceeds everything ever sent (%d)", after, base+acked+hammered)
+	}
+
+	// The marker row must come back verbatim: exact search for its
+	// vector must return its acknowledged ID at distance ~0.
+	body, _ := json.Marshal(map[string]any{"query": marker, "k": 1, "mode": "exact"})
+	resp, err := http.Post("http://"+addr2+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Neighbors []struct {
+			ID int `json:"id"`
+		} `json:"neighbors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Neighbors) != 1 || sr.Neighbors[0].ID != markerID {
+		t.Fatalf("marker row did not survive: got %+v, want ID %d", sr.Neighbors, markerID)
+	}
+
+	// Graceful stop for the audit server.
+	_ = cmd2.Process.Signal(syscall.SIGTERM)
+	_ = cmd2.Wait()
+}

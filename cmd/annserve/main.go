@@ -38,6 +38,7 @@ import (
 
 	"resinfer"
 	"resinfer/internal/dataset"
+	"resinfer/internal/fault"
 	"resinfer/internal/server"
 )
 
@@ -69,6 +70,10 @@ func main() {
 		batchMax    = flag.Int("batch-max", 64, "micro-batch size cap")
 		maxConc     = flag.Int("max-concurrent", 0, "max concurrent batch executions (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "SearchBatch worker count (0 = GOMAXPROCS)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "end-to-end deadline per search request: past it the merged partial result is served (or 503 with require_full)")
+		maxQueue    = flag.Int("max-queue", 0, "admission-queue shed watermark: queries past it get HTTP 429 (0 = 64×batch-max, negative disables)")
+		drainGrace  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown grace for in-flight requests and the final WAL sync + checkpoint")
+		faultSpec   = flag.String("faults", "", "fault-injection spec for chaos testing, e.g. 'wal.fsync:delay=5ms;shard.search:err=stuck,arg=1' (also via RESINFER_FAULTS)")
 
 		slowlogThresh = flag.Duration("slowlog-threshold", 250*time.Millisecond, "requests slower than this land in GET /debug/slowlog with per-stage timings (negative disables)")
 		accessLog     = flag.Bool("access-log", false, "emit one structured line per request to stderr")
@@ -79,6 +84,16 @@ func main() {
 	walSync, err := resinfer.ParseWALSync(*walSyncFlag)
 	if err != nil {
 		log.Fatalf("annserve: %v", err)
+	}
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("RESINFER_FAULTS")
+	}
+	if spec != "" {
+		if err := fault.ParseSpec(spec); err != nil {
+			log.Fatalf("annserve: %v", err)
+		}
+		log.Printf("annserve: fault injection armed: %s", spec)
 	}
 	// A loaded/recovered index carries its own compaction knobs; only an
 	// explicitly given -compact-threshold overrides them.
@@ -105,6 +120,9 @@ func main() {
 		BatchMaxSize:     *batchMax,
 		MaxConcurrent:    *maxConc,
 		SearchWorkers:    *workers,
+		RequestTimeout:   *reqTimeout,
+		MaxQueueDepth:    *maxQueue,
+		DrainTimeout:     *drainGrace,
 		SlowLogThreshold: *slowlogThresh,
 		AccessLog:        *accessLog,
 		EnablePprof:      *pprofFlag,

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInactiveByDefault(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("registry active with nothing armed")
+	}
+	if err := Check(SiteWALFsync); err != nil {
+		t.Fatalf("unarmed Check returned %v", err)
+	}
+}
+
+func TestInjectErrAndDisarm(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	remove := Inject(Injection{Site: SiteWALAppend, Arg: AnyArg, Err: boom})
+	if !Active() {
+		t.Fatal("not active after Inject")
+	}
+	if err := Check(SiteWALAppend); !errors.Is(err, boom) {
+		t.Fatalf("Check = %v, want boom", err)
+	}
+	if err := Check(SiteWALFsync); err != nil {
+		t.Fatalf("other site fired: %v", err)
+	}
+	if got := Hits(SiteWALAppend); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	remove()
+	if Active() {
+		t.Fatal("still active after disarm")
+	}
+	if err := Check(SiteWALAppend); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+}
+
+func TestArgFilter(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Inject(Injection{Site: SiteShardSearch, Arg: 2, Err: boom})
+	if err := CheckArg(SiteShardSearch, 1); err != nil {
+		t.Fatalf("shard 1 fired: %v", err)
+	}
+	if err := CheckArg(SiteShardSearch, 2); !errors.Is(err, boom) {
+		t.Fatalf("shard 2 = %v, want boom", err)
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Inject(Injection{Site: SiteWALFsync, Arg: AnyArg, Err: boom, After: 2, Limit: 1})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Check(SiteWALFsync) != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (after=2, limit=1)", fired)
+	}
+	if got := Hits(SiteWALFsync); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	run := func() []bool {
+		Reset()
+		Seed(42)
+		Inject(Injection{Site: SiteWALAppend, Arg: AnyArg, Err: boom, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check(SiteWALAppend) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at hit %d", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times — probability gate inert", n, len(a))
+	}
+}
+
+func TestDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	Inject(Injection{Site: SiteWALFsync, Arg: AnyArg, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Check(SiteWALFsync); err != nil {
+		t.Fatalf("delay-only injection returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay injection slept only %v", d)
+	}
+}
+
+func TestPanic(t *testing.T) {
+	Reset()
+	defer Reset()
+	Inject(Injection{Site: SiteCompactSwap, Arg: AnyArg, Panic: "kaboom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic raised")
+		}
+		if !strings.Contains(r.(string), "kaboom") {
+			t.Fatalf("panic payload %v", r)
+		}
+	}()
+	Check(SiteCompactSwap)
+}
+
+func TestParseSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ParseSpec("wal.fsync:delay=1ms; shard.search:err=stuck,arg=3,limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Active() {
+		t.Fatal("spec armed nothing")
+	}
+	if err := CheckArg(SiteShardSearch, 3); err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("shard 3 = %v, want injected stuck", err)
+	}
+	if err := CheckArg(SiteShardSearch, 1); err != nil {
+		t.Fatalf("shard 1 fired: %v", err)
+	}
+	if err := Check(SiteWALFsync); err != nil {
+		t.Fatalf("delay entry returned error %v", err)
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, spec := range []string{
+		"nocolon",
+		"wal.fsync:delay",
+		"wal.fsync:wat=1",
+		"wal.fsync:p=0.5",       // injects nothing
+		"wal.fsync:delay=bogus", // bad duration
+	} {
+		if err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+		Reset()
+	}
+	if err := ParseSpec(""); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resinfer"
@@ -39,20 +40,39 @@ type ServingEntry struct {
 	RecallAt10    float64 `json:"recall_at_10"`
 }
 
+// OverloadEntry is the overload section of the serving bench: the
+// server is offered roughly twice its measured exact-mode capacity from
+// an open-loop client behind a deliberately small admission queue. What
+// matters is the split — how much was shed with 429 versus served — and
+// the latency of what WAS served. A healthy shedding policy keeps
+// goodput near capacity and accepted-p99 near the uncontended p99,
+// instead of letting every request queue up and time out together.
+type OverloadEntry struct {
+	OfferedQPS    float64 `json:"offered_qps"`
+	GoodputQPS    float64 `json:"goodput_qps"`
+	ShedRate      float64 `json:"shed_rate"`
+	AcceptedP99Ms float64 `json:"accepted_p99_ms"`
+	Served        int     `json:"served"`
+	Shed          int     `json:"shed"`
+	Failed        int     `json:"failed"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+}
+
 // ServingResult is the machine-readable document cmd/bench writes to
 // BENCH_serving.json so the serving-path perf trajectory is recorded
 // across PRs.
 type ServingResult struct {
-	Dataset string         `json:"dataset"`
-	N       int            `json:"n"`
-	Dim     int            `json:"dim"`
-	Kind    string         `json:"kind"`
-	Shards  int            `json:"shards"`
-	K       int            `json:"k"`
-	Budget  int            `json:"budget"`
-	Clients int            `json:"clients"`
-	Queries int            `json:"queries"`
-	Entries []ServingEntry `json:"entries"`
+	Dataset  string         `json:"dataset"`
+	N        int            `json:"n"`
+	Dim      int            `json:"dim"`
+	Kind     string         `json:"kind"`
+	Shards   int            `json:"shards"`
+	K        int            `json:"k"`
+	Budget   int            `json:"budget"`
+	Clients  int            `json:"clients"`
+	Queries  int            `json:"queries"`
+	Entries  []ServingEntry `json:"entries"`
+	Overload *OverloadEntry `json:"overload,omitempty"`
 }
 
 // RunServing benchmarks the sharded serving subsystem end to end: it
@@ -110,6 +130,18 @@ func RunServing(w io.Writer, outPath string) error {
 			entry.Mode, entry.QPS, entry.P50Ms, entry.P99Ms, entry.AvgBatchSize, entry.RecallAt10)
 	}
 
+	// Overload section: offer ~2x the measured exact-mode capacity and
+	// record how the admission queue splits it into goodput and 429s.
+	if cap := result.Entries[0].QPS; cap > 0 {
+		ov, err := runOverloadSection(sx, ds.Queries, k, budget, cap)
+		if err != nil {
+			return err
+		}
+		result.Overload = &ov
+		fmt.Fprintf(w, "  overload  offered=%8.1f  goodput=%8.1f  shed=%5.1f%%  accepted-p99=%6.2fms\n",
+			ov.OfferedQPS, ov.GoodputQPS, 100*ov.ShedRate, ov.AcceptedP99Ms)
+	}
+
 	raw, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
 		return err
@@ -121,27 +153,44 @@ func RunServing(w io.Writer, outPath string) error {
 	return nil
 }
 
-// runServingMode serves the index on its own loopback port, drives the
-// clients for one mode, scrapes /stats, and shuts the server down.
-func runServingMode(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, mode string, k, budget, clients int) (ServingEntry, error) {
-	srv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
+// serveLoopback starts srv on an ephemeral loopback port and returns
+// the base URL plus a shutdown func that drains the server and reports
+// its exit error (ErrServerClosed and Canceled are a clean exit).
+func serveLoopback(srv *server.Server) (base string, shutdown func() error, err error) {
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	ready := make(chan string, 1)
 	serveErr := make(chan error, 1)
 	go func() {
 		serveErr <- srv.Serve(ctx, "127.0.0.1:0", func(addr string) { ready <- addr })
 	}()
-	var base string
 	select {
 	case addr := <-ready:
-		base = "http://" + addr
+		shutdown = func() error {
+			cancel()
+			if err := <-serveErr; err != nil && err != http.ErrServerClosed && err != context.Canceled {
+				return err
+			}
+			return nil
+		}
+		return "http://" + addr, shutdown, nil
 	case err := <-serveErr:
+		cancel()
+		return "", nil, err
+	}
+}
+
+// runServingMode serves the index on its own loopback port, drives the
+// clients for one mode, scrapes /stats, and shuts the server down.
+func runServingMode(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, mode string, k, budget, clients int) (ServingEntry, error) {
+	srv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
+	base, shutdown, err := serveLoopback(srv)
+	if err != nil {
 		return ServingEntry{}, err
 	}
 
 	entry, err := driveClients(base, queries, gt, mode, k, budget, clients)
 	if err != nil {
+		_ = shutdown()
 		return ServingEntry{}, err
 	}
 
@@ -156,11 +205,119 @@ func runServingMode(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, 
 	entry.BatchSizeP99 = stats.BatchSizeP99
 	entry.QueueDepthP99 = stats.QueueDepthP99
 
-	cancel()
-	if err := <-serveErr; err != nil && err != http.ErrServerClosed && err != context.Canceled {
+	if err := shutdown(); err != nil {
 		return ServingEntry{}, err
 	}
 	return entry, nil
+}
+
+// runOverloadSection offers the server roughly 2x capacity QPS from an
+// open-loop dispatcher (requests fire on schedule whether or not earlier
+// ones finished — the load a real overloaded frontend applies) behind a
+// small admission queue, and splits the outcome into served / shed /
+// failed with the latency of the accepted requests.
+func runOverloadSection(sx *resinfer.ShardedIndex, queries [][]float32, k, budget int, capacity float64) (OverloadEntry, error) {
+	const maxQueue = 32
+	srv := server.New(sx, server.Config{
+		DefaultK: k, DefaultBudget: budget, MaxQueueDepth: maxQueue,
+	})
+	base, shutdown, err := serveLoopback(srv)
+	if err != nil {
+		return OverloadEntry{}, err
+	}
+
+	type req struct {
+		Query  []float32 `json:"query"`
+		K      int       `json:"k"`
+		Mode   string    `json:"mode"`
+		Budget int       `json:"budget"`
+	}
+	offered := 2 * capacity
+	total := 4 * len(queries)
+
+	// A dedicated transport: the dial burst of an open-loop client leaves
+	// pre-dialed connections that never carry a request; server-side those
+	// sit in StateNew, which Shutdown will not reap. Closing the client's
+	// idle pool before shutdown releases them.
+	tr := &http.Transport{MaxIdleConnsPerHost: 64}
+	client := &http.Client{Transport: tr}
+
+	var served, shed, failed int64
+	var mu sync.Mutex
+	var accepted []time.Duration
+	var wg sync.WaitGroup
+	fire := func(q []float32) {
+		defer wg.Done()
+		raw, err := json.Marshal(req{Query: q, K: k, Mode: string(resinfer.Exact), Budget: budget})
+		if err != nil {
+			atomic.AddInt64(&failed, 1)
+			return
+		}
+		t0 := time.Now()
+		hr, err := client.Post(base+"/search", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			atomic.AddInt64(&failed, 1)
+			return
+		}
+		d := time.Since(t0)
+		_, _ = io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		switch hr.StatusCode {
+		case http.StatusOK:
+			atomic.AddInt64(&served, 1)
+			mu.Lock()
+			accepted = append(accepted, d)
+			mu.Unlock()
+		case http.StatusTooManyRequests:
+			atomic.AddInt64(&shed, 1)
+		default:
+			atomic.AddInt64(&failed, 1)
+		}
+	}
+
+	// Open-loop dispatcher: every millisecond, fire however many requests
+	// the offered rate says are due. A per-request ticker cannot hold
+	// multi-kQPS schedules; a due-count can.
+	start := time.Now()
+	fired := 0
+	for fired < total {
+		due := int(time.Since(start).Seconds() * offered)
+		if due > total {
+			due = total
+		}
+		for ; fired < due; fired++ {
+			wg.Add(1)
+			go fire(queries[fired%len(queries)])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dispatchSecs := time.Since(start).Seconds()
+	wg.Wait()
+	elapsed := time.Since(start)
+	tr.CloseIdleConnections()
+	if err := shutdown(); err != nil {
+		return OverloadEntry{}, fmt.Errorf("overload shutdown: %w", err)
+	}
+
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+	p99 := 0.0
+	if len(accepted) > 0 {
+		i := int(0.99 * float64(len(accepted)))
+		if i >= len(accepted) {
+			i = len(accepted) - 1
+		}
+		p99 = float64(accepted[i].Microseconds()) / 1000.0
+	}
+	return OverloadEntry{
+		OfferedQPS:    float64(total) / dispatchSecs,
+		GoodputQPS:    float64(served) / elapsed.Seconds(),
+		ShedRate:      float64(shed) / float64(total),
+		AcceptedP99Ms: p99,
+		Served:        int(served),
+		Shed:          int(shed),
+		Failed:        int(failed),
+		MaxQueueDepth: maxQueue,
+	}, nil
 }
 
 // driveClients fans queries across concurrent HTTP clients against the

@@ -14,6 +14,13 @@ import (
 // shuts down.
 var ErrServerClosed = errors.New("server: closed")
 
+// ErrOverloaded is returned to queries arriving while the admission
+// queue is past its watermark; the handler maps it to HTTP 429 with a
+// Retry-After hint. Shedding the excess immediately keeps the queries
+// already admitted inside their deadlines, instead of letting the whole
+// queue time out collectively.
+var ErrOverloaded = errors.New("server: overloaded, queue past watermark")
+
 // batchKey groups queued queries that can share one SearchBatch call:
 // only queries with identical search parameters are batched together.
 type batchKey struct {
@@ -31,11 +38,12 @@ type queryResult struct {
 
 // pendingQuery is one admitted /search request waiting in the queue.
 type pendingQuery struct {
-	q    []float32
-	key  batchKey
-	tr   *obs.Trace       // nil unless the request is being traced
-	enq  time.Time        // when the query entered the queue
-	resp chan queryResult // buffered, capacity 1
+	q        []float32
+	key      batchKey
+	tr       *obs.Trace       // nil unless the request is being traced
+	enq      time.Time        // when the query entered the queue
+	deadline time.Time        // the request ctx's deadline (zero if none)
+	resp     chan queryResult // buffered, capacity 1
 }
 
 // batcher is the micro-batching admission queue: single-query requests
@@ -45,9 +53,11 @@ type pendingQuery struct {
 type batcher struct {
 	idx       Searcher
 	tracedIdx batchTracedSearcher // idx's traced variant, nil if unsupported
+	ctxIdx    batchCtxSearcher    // idx's deadline-aware variant, nil if unsupported
 	in        chan pendingQuery
 	window    time.Duration
 	maxSize   int
+	maxDepth  int           // shed watermark; <= 0 disables shedding
 	workers   int           // workers handed to SearchBatch
 	sem       chan struct{} // shared concurrency limiter
 	m         *metrics
@@ -57,26 +67,39 @@ type batcher struct {
 	wg       sync.WaitGroup
 }
 
-func newBatcher(idx Searcher, window time.Duration, maxSize, workers int, sem chan struct{}, m *metrics) *batcher {
+func newBatcher(idx Searcher, window time.Duration, maxSize, maxDepth, workers int, sem chan struct{}, m *metrics) *batcher {
+	// The queue buffer must cover the watermark: shedding is meant to be
+	// the backpressure mechanism, not a blocking channel send.
+	capacity := 4 * maxSize
+	if maxDepth > capacity {
+		capacity = maxDepth
+	}
 	b := &batcher{
-		idx:     idx,
-		in:      make(chan pendingQuery, 4*maxSize),
-		window:  window,
-		maxSize: maxSize,
-		workers: workers,
-		sem:     sem,
-		m:       m,
-		done:    make(chan struct{}),
+		idx:      idx,
+		in:       make(chan pendingQuery, capacity),
+		window:   window,
+		maxSize:  maxSize,
+		maxDepth: maxDepth,
+		workers:  workers,
+		sem:      sem,
+		m:        m,
+		done:     make(chan struct{}),
 	}
 	b.tracedIdx, _ = idx.(batchTracedSearcher)
+	b.ctxIdx, _ = idx.(batchCtxSearcher)
 	b.wg.Add(1)
 	go b.run()
 	return b
 }
 
 // submit enqueues one query and waits for its result or ctx cancellation.
+// A query arriving while the queue is at or past the watermark is shed
+// with ErrOverloaded instead of being admitted into collective timeout.
 func (b *batcher) submit(ctx context.Context, q []float32, key batchKey, tr *obs.Trace) queryResult {
 	pq := pendingQuery{q: q, key: key, tr: tr, enq: time.Now(), resp: make(chan queryResult, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		pq.deadline = dl
+	}
 	select {
 	case <-b.done:
 		// Checked first: b.in is buffered, so a bare select could win the
@@ -84,6 +107,9 @@ func (b *batcher) submit(ctx context.Context, q []float32, key batchKey, tr *obs
 		// the query unanswered.
 		return queryResult{err: ErrServerClosed}
 	default:
+	}
+	if b.maxDepth > 0 && b.m.queueDepth.Load() >= int64(b.maxDepth) {
+		return queryResult{err: ErrOverloaded}
 	}
 	select {
 	case b.in <- pq:
@@ -225,15 +251,46 @@ func (b *batcher) execute(batch []pendingQuery) {
 		}
 		b.m.batchSizes.Observe(float64(len(members)))
 
-		var results []resinfer.BatchResult
-		var err error
-		if traced && b.tracedIdx != nil {
-			traces := make([]*obs.Trace, len(members))
+		var traces []*obs.Trace
+		if traced {
+			traces = make([]*obs.Trace, len(members))
 			for j, i := range members {
 				traces[j] = batch[i].tr
 			}
+		}
+		var results []resinfer.BatchResult
+		var err error
+		switch {
+		case b.ctxIdx != nil:
+			// The group executes under a detached context expiring at the
+			// latest member deadline: one member's cancellation must not
+			// abort its groupmates, but a stuck shard must not hold the
+			// group past the point where anyone still wants the answer.
+			// Members with earlier deadlines give up in submit on their own.
+			gctx := context.Background()
+			var cancel context.CancelFunc
+			var maxDL time.Time
+			bounded := true
+			for _, i := range members {
+				dl := batch[i].deadline
+				if dl.IsZero() {
+					bounded = false
+					break
+				}
+				if dl.After(maxDL) {
+					maxDL = dl
+				}
+			}
+			if bounded {
+				gctx, cancel = context.WithDeadline(context.Background(), maxDL)
+			}
+			results, err = b.ctxIdx.SearchBatchCtx(gctx, queries, key.k, key.mode, key.budget, b.workers, traces)
+			if cancel != nil {
+				cancel()
+			}
+		case traced && b.tracedIdx != nil:
 			results, err = b.tracedIdx.SearchBatchTraced(queries, key.k, key.mode, key.budget, b.workers, traces)
-		} else {
+		default:
 			results, err = b.idx.SearchBatch(queries, key.k, key.mode, key.budget, b.workers)
 		}
 		b.m.batches.Inc()

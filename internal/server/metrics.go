@@ -28,6 +28,12 @@ type metrics struct {
 	upserts        *obs.Counter // vectors accepted via POST /upsert
 	deletes        *obs.Counter // rows removed via POST /delete
 
+	shed            *obs.Counter // requests shed at the admission watermark (429)
+	timeouts        *obs.Counter // requests that exhausted the request deadline (503)
+	partials        *obs.Counter // searches answered with partial shard coverage
+	clientCancels   *obs.Counter // requests abandoned by the client (499)
+	degradedRejects *obs.Counter // mutations rejected while degraded read-only (503)
+
 	latency    *obs.Histogram // whole-request latency, seconds
 	queueWait  *obs.Histogram // admission-queue wait, seconds
 	batchSizes *obs.Histogram // queries per micro-batch execution
@@ -52,6 +58,11 @@ func (m *metrics) init(reg *obs.Registry) {
 	m.pruned = reg.Counter("resinfer_pruned_total", "Candidates discarded from approximate distances alone.")
 	m.upserts = reg.Counter("resinfer_upserts_total", "Vectors accepted via POST /upsert.")
 	m.deletes = reg.Counter("resinfer_deletes_total", "Rows removed via POST /delete.")
+	m.shed = reg.Counter("resinfer_shed_total", "Requests shed at the admission-queue watermark (HTTP 429).")
+	m.timeouts = reg.Counter("resinfer_timeouts_total", "Requests that exhausted the request deadline (HTTP 503).")
+	m.partials = reg.Counter("resinfer_partial_results_total", "Searches answered with partial shard coverage.")
+	m.clientCancels = reg.Counter("resinfer_client_cancels_total", "Requests abandoned by the client before completion (HTTP 499).")
+	m.degradedRejects = reg.Counter("resinfer_degraded_rejects_total", "Mutations rejected while the index was degraded read-only (HTTP 503).")
 
 	m.latency = reg.Histogram("resinfer_request_duration_seconds",
 		"End-to-end request latency across /search and /search/batch.", latencyBuckets())
@@ -78,46 +89,56 @@ func (m *metrics) init(reg *obs.Registry) {
 // carries the ingest counters plus the live segment depths (memtable
 // rows, pending tombstones) and compaction/hot-swap timings.
 type StatsSnapshot struct {
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	SIMDLevel      string  `json:"simd_level"`
-	Requests       int64   `json:"requests"`
-	Queries        int64   `json:"queries"`
-	Errors         int64   `json:"errors"`
-	Batches        int64   `json:"batches"`
-	BatchedQueries int64   `json:"batched_queries"`
-	AvgBatchSize   float64 `json:"avg_batch_size"`
-	BatchSizeP50   float64 `json:"batch_size_p50,omitempty"`
-	BatchSizeP99   float64 `json:"batch_size_p99,omitempty"`
-	QueueDepthP50  float64 `json:"queue_depth_p50,omitempty"`
-	QueueDepthP99  float64 `json:"queue_depth_p99,omitempty"`
-	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms,omitempty"`
-	Comparisons    int64   `json:"comparisons"`
-	Pruned         int64   `json:"pruned"`
-	Upserts        int64   `json:"upserts,omitempty"`
-	Deletes        int64   `json:"deletes,omitempty"`
-	LatencyMeanMs  float64 `json:"latency_mean_ms"`
-	LatencyP50Ms   float64 `json:"latency_p50_ms"`
-	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	SIMDLevel       string  `json:"simd_level"`
+	Requests        int64   `json:"requests"`
+	Queries         int64   `json:"queries"`
+	Errors          int64   `json:"errors"`
+	Batches         int64   `json:"batches"`
+	BatchedQueries  int64   `json:"batched_queries"`
+	AvgBatchSize    float64 `json:"avg_batch_size"`
+	BatchSizeP50    float64 `json:"batch_size_p50,omitempty"`
+	BatchSizeP99    float64 `json:"batch_size_p99,omitempty"`
+	QueueDepthP50   float64 `json:"queue_depth_p50,omitempty"`
+	QueueDepthP99   float64 `json:"queue_depth_p99,omitempty"`
+	QueueWaitP99Ms  float64 `json:"queue_wait_p99_ms,omitempty"`
+	Comparisons     int64   `json:"comparisons"`
+	Pruned          int64   `json:"pruned"`
+	Upserts         int64   `json:"upserts,omitempty"`
+	Deletes         int64   `json:"deletes,omitempty"`
+	Shed            int64   `json:"shed,omitempty"`
+	Timeouts        int64   `json:"timeouts,omitempty"`
+	PartialResults  int64   `json:"partial_results,omitempty"`
+	ClientCancels   int64   `json:"client_cancels,omitempty"`
+	DegradedRejects int64   `json:"degraded_rejects,omitempty"`
+	LatencyMeanMs   float64 `json:"latency_mean_ms"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms"`
 
 	Mutation *resinfer.MutationStats `json:"mutation,omitempty"`
 }
 
 func (m *metrics) snapshot() StatsSnapshot {
 	s := StatsSnapshot{
-		UptimeSeconds:  time.Since(m.start).Seconds(),
-		SIMDLevel:      resinfer.SIMDLevel(),
-		Requests:       m.requests.Value(),
-		Queries:        m.queries.Value(),
-		Errors:         m.errors.Value(),
-		Batches:        m.batches.Value(),
-		BatchedQueries: m.batchedQueries.Value(),
-		Comparisons:    m.comparisons.Value(),
-		Pruned:         m.pruned.Value(),
-		Upserts:        m.upserts.Value(),
-		Deletes:        m.deletes.Value(),
-		LatencyMeanMs:  m.latency.Mean() * 1e3,
-		LatencyP50Ms:   m.latency.Quantile(0.50) * 1e3,
-		LatencyP99Ms:   m.latency.Quantile(0.99) * 1e3,
+		UptimeSeconds:   time.Since(m.start).Seconds(),
+		SIMDLevel:       resinfer.SIMDLevel(),
+		Requests:        m.requests.Value(),
+		Queries:         m.queries.Value(),
+		Errors:          m.errors.Value(),
+		Batches:         m.batches.Value(),
+		BatchedQueries:  m.batchedQueries.Value(),
+		Comparisons:     m.comparisons.Value(),
+		Pruned:          m.pruned.Value(),
+		Upserts:         m.upserts.Value(),
+		Deletes:         m.deletes.Value(),
+		Shed:            m.shed.Value(),
+		Timeouts:        m.timeouts.Value(),
+		PartialResults:  m.partials.Value(),
+		ClientCancels:   m.clientCancels.Value(),
+		DegradedRejects: m.degradedRejects.Value(),
+		LatencyMeanMs:   m.latency.Mean() * 1e3,
+		LatencyP50Ms:    m.latency.Quantile(0.50) * 1e3,
+		LatencyP99Ms:    m.latency.Quantile(0.99) * 1e3,
 	}
 	if s.Batches > 0 {
 		s.AvgBatchSize = float64(s.BatchedQueries) / float64(s.Batches)

@@ -52,14 +52,28 @@ func decodeStrict(r *http.Request, v any) error {
 }
 
 // mutationStatus maps a mutation-API error to an HTTP status: invalid
-// input (dimension mismatch, NaN/±Inf components) is the caller's fault,
-// anything else — a failed shard rebuild, a WAL append failure — is an
-// internal error.
+// input (dimension mismatch, NaN/±Inf components) is the caller's
+// fault; a degraded read-only index is 503 (the service exists, writes
+// are temporarily refused — retry against a healthy replica); anything
+// else — a failed shard rebuild, a WAL append failure — is an internal
+// error.
 func mutationStatus(err error) int {
 	if errors.Is(err, resinfer.ErrInvalidVector) {
 		return http.StatusBadRequest
 	}
+	if errors.Is(err, resinfer.ErrDegraded) {
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusInternalServerError
+}
+
+// failMutation reports a mutation error, counting degraded rejections
+// on their own so operators can tell "disk is broken" from "bad input".
+func (s *Server) failMutation(w http.ResponseWriter, err error) {
+	if errors.Is(err, resinfer.ErrDegraded) {
+		s.metrics.degradedRejects.Inc()
+	}
+	s.fail(w, mutationStatus(err), err)
 }
 
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
@@ -79,7 +93,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	}
 	gid, err := s.mut.Upsert(id, req.Vector)
 	if err != nil {
-		s.fail(w, mutationStatus(err), err)
+		s.failMutation(w, err)
 		return
 	}
 	s.metrics.upserts.Inc()
@@ -99,7 +113,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	deleted, err := s.mut.Delete(*req.ID)
 	if err != nil {
-		s.fail(w, mutationStatus(err), err)
+		s.failMutation(w, err)
 		return
 	}
 	if deleted {
@@ -112,7 +126,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Inc()
 	compacted, err := s.mut.Compact()
 	if err != nil {
-		s.fail(w, mutationStatus(err), err)
+		s.failMutation(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, compactResponse{Compacted: compacted})

@@ -77,8 +77,26 @@ type Config struct {
 	// (default GOMAXPROCS).
 	SearchWorkers int
 	// RequestTimeout caps how long one /search request may wait end to
-	// end (default 30s).
+	// end (default 30s). On a sharded index the deadline is enforced
+	// inside the fan-out: shards that miss it are abandoned and the
+	// response is served partial (see the Partial field of the search
+	// response) rather than not at all.
 	RequestTimeout time.Duration
+	// MaxQueueDepth is the admission-queue watermark: single-query
+	// requests arriving while this many queries already sit in (or
+	// execute from) the micro-batcher are shed immediately with HTTP 429
+	// and a Retry-After hint, instead of queueing into collective
+	// timeout. Default 64×BatchMaxSize — deep enough that only sustained
+	// overload sheds, not a burst one batch round absorbs; negative
+	// disables shedding.
+	MaxQueueDepth int
+	// RetryAfter is the client back-off hint attached to shed (429)
+	// responses (default 1s).
+	RetryAfter time.Duration
+	// DrainTimeout caps graceful shutdown: how long Serve waits for
+	// in-flight requests (and the final WAL sync + checkpoint on a
+	// durable index) before forcing connections closed (default 5s).
+	DrainTimeout time.Duration
 	// SlowLogThreshold sends requests slower than this to the
 	// /debug/slowlog ring with per-stage timings (default 250ms).
 	// Negative disables the slowlog — and with it the always-on tracing
@@ -115,6 +133,15 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 64 * c.BatchMaxSize
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.SlowLogThreshold == 0 {
 		c.SlowLogThreshold = 250 * time.Millisecond
 	}
@@ -124,17 +151,20 @@ func (c Config) withDefaults() Config {
 // Server serves one index. Create with New, expose with Handler or
 // ListenAndServe, stop with Close.
 type Server struct {
-	idx     Searcher
-	traced  tracedSearcher // idx's traced variant, nil if unsupported
-	mut     Mutator        // non-nil when idx also accepts mutations
-	cfg     Config
-	metrics metrics
-	reg     *obs.Registry
-	slowlog *slowLog // nil when disabled
-	batcher *batcher // nil when micro-batching is disabled
-	sem     chan struct{}
-	mux     *http.ServeMux
-	access  *log.Logger // nil unless Config.AccessLog
+	idx      Searcher
+	traced   tracedSearcher // idx's traced variant, nil if unsupported
+	ctxIdx   ctxSearcher    // idx's deadline-aware variant, nil if unsupported
+	ctxBatch batchCtxSearcher
+	mut      Mutator    // non-nil when idx also accepts mutations
+	degr     degradable // non-nil when idx has a degraded read-only mode
+	cfg      Config
+	metrics  metrics
+	reg      *obs.Registry
+	slowlog  *slowLog // nil when disabled
+	batcher  *batcher // nil when micro-batching is disabled
+	sem      chan struct{}
+	mux      *http.ServeMux
+	access   *log.Logger // nil unless Config.AccessLog
 }
 
 // New wraps idx in a server. The caller must not reconfigure idx (e.g.
@@ -150,6 +180,9 @@ func New(idx Searcher, cfg Config) *Server {
 		sem: make(chan struct{}, c.MaxConcurrent),
 	}
 	s.traced, _ = idx.(tracedSearcher)
+	s.ctxIdx, _ = idx.(ctxSearcher)
+	s.ctxBatch, _ = idx.(batchCtxSearcher)
+	s.degr, _ = idx.(degradable)
 	s.metrics.init(s.reg)
 	obs.RegisterGoRuntime(s.reg)
 	if c.SlowLogThreshold > 0 {
@@ -159,7 +192,7 @@ func New(idx Searcher, cfg Config) *Server {
 		s.access = log.New(os.Stderr, "", 0)
 	}
 	if c.BatchWindow > 0 {
-		s.batcher = newBatcher(idx, c.BatchWindow, c.BatchMaxSize, c.SearchWorkers, s.sem, &s.metrics)
+		s.batcher = newBatcher(idx, c.BatchWindow, c.BatchMaxSize, c.MaxQueueDepth, c.SearchWorkers, s.sem, &s.metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /search", s.handleSearch)
@@ -167,6 +200,10 @@ func New(idx Searcher, cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.degr != nil {
+		s.mux.HandleFunc("POST /admin/degraded/clear", s.handleDegradedClear)
+	}
 	if s.slowlog != nil {
 		s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	}
@@ -269,10 +306,12 @@ type neighborJSON struct {
 
 // statsJSON mirrors resinfer.SearchStats on the wire.
 type statsJSON struct {
-	Comparisons int64   `json:"comparisons"`
-	Pruned      int64   `json:"pruned"`
-	ScanRate    float64 `json:"scan_rate"`
-	PrunedRate  float64 `json:"pruned_rate"`
+	Comparisons  int64   `json:"comparisons"`
+	Pruned       int64   `json:"pruned"`
+	ScanRate     float64 `json:"scan_rate"`
+	PrunedRate   float64 `json:"pruned_rate"`
+	ShardsOK     int     `json:"shards_ok,omitempty"`
+	ShardsFailed int     `json:"shards_failed,omitempty"`
 }
 
 type searchRequest struct {
@@ -281,12 +320,20 @@ type searchRequest struct {
 	Mode   string    `json:"mode"`
 	Budget int       `json:"budget"`
 	Trace  bool      `json:"trace"`
+	// RequireFull opts out of the partial-result contract: if any shard
+	// failed or missed the deadline, the request fails with 503 instead
+	// of returning the surviving shards' merge.
+	RequireFull bool `json:"require_full"`
 }
 
 type searchResponse struct {
 	Neighbors []neighborJSON `json:"neighbors"`
 	Stats     statsJSON      `json:"stats"`
-	Trace     *traceJSON     `json:"trace,omitempty"`
+	// Partial marks a response merged from a subset of shards: the
+	// others failed or were abandoned at the deadline. Stats.ShardsOK /
+	// Stats.ShardsFailed give the exact coverage.
+	Partial bool       `json:"partial,omitempty"`
+	Trace   *traceJSON `json:"trace,omitempty"`
 }
 
 type batchSearchRequest struct {
@@ -299,6 +346,7 @@ type batchSearchRequest struct {
 type batchEntryJSON struct {
 	Neighbors []neighborJSON `json:"neighbors"`
 	Stats     statsJSON      `json:"stats"`
+	Partial   bool           `json:"partial,omitempty"`
 	Error     string         `json:"error,omitempty"`
 }
 
@@ -320,10 +368,12 @@ func toNeighborsJSON(ns []resinfer.Neighbor) []neighborJSON {
 
 func toStatsJSON(st resinfer.SearchStats) statsJSON {
 	return statsJSON{
-		Comparisons: st.Comparisons,
-		Pruned:      st.Pruned,
-		ScanRate:    st.ScanRate,
-		PrunedRate:  st.PrunedRate,
+		Comparisons:  st.Comparisons,
+		Pruned:       st.Pruned,
+		ScanRate:     st.ScanRate,
+		PrunedRate:   st.PrunedRate,
+		ShardsOK:     st.ShardsOK,
+		ShardsFailed: st.ShardsFailed,
 	}
 }
 
@@ -356,6 +406,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	s.metrics.errors.Inc()
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request
+// the client abandoned; no standard constant exists.
+const statusClientClosedRequest = 499
+
+// failSearch maps a search-path error to its HTTP status with the right
+// counters: overload → 429 + Retry-After, deadline → 503 (a timeout),
+// shutdown → 503, client cancellation → 499 — counted on its own,
+// not inflating the error counter, since the server did nothing wrong.
+func (s *Server) failSearch(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// The client hung up; the write below is best-effort at most.
+		s.metrics.clientCancels.Inc()
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: "client closed request"})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Inc()
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrServerClosed):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -405,26 +483,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		res = s.batcher.submit(ctx, req.Query, key, tr)
 	} else {
 		admit := time.Now()
-		s.sem <- struct{}{}
-		tr.End("admit", admit)
-		if tr != nil && s.traced != nil {
-			ns, st, err := s.traced.SearchWithStatsTraced(req.Query, key.k, key.mode, key.budget, tr)
-			res = queryResult{neighbors: ns, stats: st, err: err}
-		} else {
-			searchStart := time.Now()
-			ns, st, err := s.idx.SearchWithStats(req.Query, key.k, key.mode, key.budget)
-			tr.End("search", searchStart)
-			res = queryResult{neighbors: ns, stats: st, err: err}
+		select {
+		case s.sem <- struct{}{}:
+			tr.End("admit", admit)
+			switch {
+			case s.ctxIdx != nil:
+				searchStart := time.Now()
+				ns, st, err := s.ctxIdx.SearchWithStatsCtx(ctx, req.Query, key.k, key.mode, key.budget, tr)
+				if tr != nil && s.traced == nil {
+					tr.End("search", searchStart)
+				}
+				res = queryResult{neighbors: ns, stats: st, err: err}
+			case tr != nil && s.traced != nil:
+				ns, st, err := s.traced.SearchWithStatsTraced(req.Query, key.k, key.mode, key.budget, tr)
+				res = queryResult{neighbors: ns, stats: st, err: err}
+			default:
+				searchStart := time.Now()
+				ns, st, err := s.idx.SearchWithStats(req.Query, key.k, key.mode, key.budget)
+				tr.End("search", searchStart)
+				res = queryResult{neighbors: ns, stats: st, err: err}
+			}
+			<-s.sem
+		case <-ctx.Done():
+			res = queryResult{err: ctx.Err()}
 		}
-		<-s.sem
 	}
 	if res.err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(res.err, ErrServerClosed) || errors.Is(res.err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
-		s.fail(w, status, res.err)
+		s.failSearch(w, r, res.err)
 		return
+	}
+	partial := res.stats.ShardsFailed > 0
+	if partial && req.RequireFull {
+		s.metrics.timeouts.Inc()
+		s.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("partial result (%d/%d shards) rejected: require_full set",
+				res.stats.ShardsOK, res.stats.ShardsOK+res.stats.ShardsFailed))
+		return
+	}
+	if partial {
+		s.metrics.partials.Inc()
 	}
 	s.metrics.queries.Inc()
 	s.metrics.comparisons.Add(res.stats.Comparisons)
@@ -433,6 +530,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := searchResponse{
 		Neighbors: toNeighborsJSON(res.neighbors),
 		Stats:     toStatsJSON(res.stats),
+		Partial:   partial,
 	}
 	if tr != nil {
 		// Measure the encode stage by marshalling the response body
@@ -467,11 +565,22 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(batchSizeHeader, strconv.Itoa(len(req.Queries)))
-	s.sem <- struct{}{}
-	results, err := s.idx.SearchBatch(req.Queries, key.k, key.mode, key.budget, s.cfg.SearchWorkers)
-	<-s.sem
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	var results []resinfer.BatchResult
+	select {
+	case s.sem <- struct{}{}:
+		if s.ctxBatch != nil {
+			results, err = s.ctxBatch.SearchBatchCtx(ctx, req.Queries, key.k, key.mode, key.budget, s.cfg.SearchWorkers, nil)
+		} else {
+			results, err = s.idx.SearchBatch(req.Queries, key.k, key.mode, key.budget, s.cfg.SearchWorkers)
+		}
+		<-s.sem
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.failSearch(w, r, err)
 		return
 	}
 	out := batchSearchResponse{Results: make([]batchEntryJSON, len(results))}
@@ -479,11 +588,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		entry := batchEntryJSON{
 			Neighbors: toNeighborsJSON(res.Neighbors),
 			Stats:     toStatsJSON(res.Stats),
+			Partial:   res.Stats.ShardsFailed > 0,
 		}
 		if res.Err != nil {
 			entry.Error = res.Err.Error()
 			s.metrics.errors.Inc()
 		} else {
+			if entry.Partial {
+				s.metrics.partials.Inc()
+			}
 			s.metrics.queries.Inc()
 			s.metrics.comparisons.Add(res.Stats.Comparisons)
 			s.metrics.pruned.Add(res.Stats.Pruned)
@@ -520,6 +633,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+type readyResponse struct {
+	Status   string `json:"status"`
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: a degraded
+// index (fail-stop read-only after persistent WAL failure) is alive —
+// searches still serve — but not ready to take writes, so load
+// balancers should route mutating traffic elsewhere. 503 while
+// degraded, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.degr != nil {
+		if err := s.degr.Degraded(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				readyResponse{Status: "degraded", Degraded: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ok"})
+}
+
+// handleDegradedClear is the operator's recovery path: once the disk is
+// fixed, POST /admin/degraded/clear re-probes the WAL (rotating to a
+// fresh segment) and, on success, lifts read-only mode.
+func (s *Server) handleDegradedClear(w http.ResponseWriter, r *http.Request) {
+	if err := s.degr.ClearDegraded(); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("still degraded: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ok"})
+}
+
 // Serve builds a listener on addr and serves until ctx cancellation,
 // returning the bound address via the callback before blocking — used by
 // callers that pass port 0.
@@ -539,10 +684,19 @@ func (s *Server) Serve(ctx context.Context, addr string, onReady func(boundAddr 
 		s.Close()
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		err := hs.Shutdown(shutCtx)
 		s.Close()
+		// With requests drained and the batcher stopped, flush durability
+		// state: a final WAL fsync plus a checkpoint attempt, so a clean
+		// shutdown restarts with nothing to replay. Best-effort — a
+		// degraded WAL must not turn a graceful stop into a hang.
+		if df, ok := s.idx.(drainFlusher); ok {
+			if serr := df.SyncWAL(); serr == nil {
+				_ = df.Checkpoint()
+			}
+		}
 		return err
 	}
 }

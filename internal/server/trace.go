@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -37,6 +38,33 @@ type (
 	// allowed) receives query i's stages.
 	batchTracedSearcher interface {
 		SearchBatchTraced(queries [][]float32, k int, mode resinfer.Mode, budget, workers int, traces []*obs.Trace) ([]resinfer.BatchResult, error)
+	}
+	// ctxSearcher runs one query under a deadline with partial-result
+	// semantics: stragglers are abandoned when ctx expires and
+	// SearchStats.ShardsOK/ShardsFailed report the coverage.
+	// *resinfer.ShardedIndex and *resinfer.MutableIndex satisfy it; a
+	// plain *resinfer.Index degrades to the undeadlined path.
+	ctxSearcher interface {
+		SearchWithStatsCtx(ctx context.Context, q []float32, k int, mode resinfer.Mode, budget int, tr *obs.Trace) ([]resinfer.Neighbor, resinfer.SearchStats, error)
+	}
+	// batchCtxSearcher is the batch variant of ctxSearcher.
+	batchCtxSearcher interface {
+		SearchBatchCtx(ctx context.Context, queries [][]float32, k int, mode resinfer.Mode, budget, workers int, traces []*obs.Trace) ([]resinfer.BatchResult, error)
+	}
+	// degradable reports and clears the fail-stop read-only state a
+	// mutable index enters after persistent WAL failure; feeds /readyz
+	// and POST /admin/degraded/clear. *resinfer.MutableIndex satisfies
+	// it.
+	degradable interface {
+		Degraded() error
+		ClearDegraded() error
+	}
+	// drainFlusher flushes durability state during graceful shutdown: a
+	// final WAL fsync and a checkpoint attempt so a clean stop leaves
+	// nothing to replay. *resinfer.MutableIndex satisfies it.
+	drainFlusher interface {
+		SyncWAL() error
+		Checkpoint() error
 	}
 )
 

@@ -38,6 +38,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"resinfer/internal/fault"
 )
 
 // Op identifies a record's mutation type.
@@ -165,6 +167,7 @@ type Log struct {
 	policy SyncPolicy
 
 	f           *os.File // active segment, nil until the first append after Open/rotate
+	off         int64    // bytes acknowledged into the active segment (rollback point)
 	segs        []segment
 	nextLSN     uint64
 	dirty       bool  // unsynced bytes pending (interval policy)
@@ -317,6 +320,13 @@ func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, err
 		// surfaces the error and mutations fail loudly until restart.
 		return 0, fmt.Errorf("wal: log failed earlier: %w", l.failed)
 	}
+	if fault.Active() {
+		// An injected append error models a transient write failure with
+		// nothing on disk: retryable, no fail-stop.
+		if err := fault.Check(fault.SiteWALAppend); err != nil {
+			return 0, err
+		}
+	}
 	if l.f == nil {
 		if err := l.openSegmentLocked(); err != nil {
 			return 0, err
@@ -341,9 +351,20 @@ func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, err
 	binary.LittleEndian.PutUint32(buf[0:], uint32(plen))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
 	if _, err := l.f.Write(buf); err != nil {
-		l.failed = err
+		// A failed write may have left part of the record on disk. Try to
+		// truncate the segment back to the last acknowledged boundary: if
+		// that succeeds the log is exactly as it was before this append —
+		// the error is transient and the caller may retry. Only when the
+		// rollback itself fails does the log fail-stop (appending past an
+		// unremovable partial record would bury acknowledged records
+		// behind what recovery treats as the torn tail).
+		if terr := l.rollbackLocked(); terr != nil {
+			l.failed = err
+			return 0, fmt.Errorf("wal: write failed (%v) and rollback failed: %w", err, terr)
+		}
 		return 0, err
 	}
+	l.off += int64(len(buf))
 	l.nextLSN++
 	var syncDur time.Duration
 	switch l.policy.mode {
@@ -352,7 +373,17 @@ func (l *Log) appendLocked(op Op, shard int, id int64, v []float32) (uint64, err
 		if l.obs != nil {
 			s0 = time.Now()
 		}
-		if err := l.f.Sync(); err != nil {
+		var err error
+		if fault.Active() {
+			// An injected fsync fault models a sync failure or a slow disk
+			// on the durability path; an error here is fail-stop, exactly
+			// like a real one.
+			err = fault.Check(fault.SiteWALFsync)
+		}
+		if err == nil {
+			err = l.f.Sync()
+		}
+		if err != nil {
 			// The record is written but not durable, and the mutation will
 			// be rejected; recovery may still replay it (the caller was
 			// told the outcome is unknown). Fail-stop so nothing is
@@ -385,7 +416,63 @@ func (l *Log) openSegmentLocked() error {
 		return err
 	}
 	l.f = f
+	l.off = int64(len(segMagic))
 	l.segs = append(l.segs, segment{path: path, first: l.nextLSN})
+	return nil
+}
+
+// rollbackLocked restores the active segment to the last acknowledged
+// record boundary after a failed write: truncate off any partial record
+// and reposition the write cursor.
+func (l *Log) rollbackLocked() error {
+	if err := l.f.Truncate(l.off); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.off, io.SeekStart)
+	return err
+}
+
+// Failed returns the write/sync error the log fail-stopped on, or nil
+// while the log is healthy.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Recover clears the fail-stop state after a persistent failure: the
+// poisoned active segment is abandoned (closed best-effort; its intact
+// prefix still replays — recovery drops only the torn tail) and the next
+// append opens a fresh segment. It is the operator's escape hatch behind
+// POST /admin/degraded/clear — call it once the underlying disk fault is
+// fixed. A no-op on a healthy log.
+func (l *Log) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed == nil {
+		return nil
+	}
+	if l.f != nil {
+		// The handle may be poisoned (a failed fsync leaves its durability
+		// unknowable); closing it can fail and that is fine — the segment
+		// is abandoned either way.
+		_ = l.f.Close()
+		l.f = nil
+		l.dirty = false
+	}
+	// If the abandoned segment never acknowledged a record, its name (the
+	// first LSN it would have held) collides with the segment the next
+	// append creates; drop it so the name can be reissued.
+	if n := len(l.segs); n > 0 && l.segs[n-1].first == l.nextLSN {
+		if err := os.Remove(l.segs[n-1].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		l.segs = l.segs[:n-1]
+	}
+	l.failed = nil
 	return nil
 }
 

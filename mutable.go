@@ -442,6 +442,56 @@ func (mx *MutableIndex) maybeWALCheckpoint() error {
 	return nil
 }
 
+// Degraded returns the error that flipped the index read-only after a
+// persistent WAL failure, or nil while writes are healthy. Searches
+// keep serving in either state; internal/server feeds this into
+// GET /readyz.
+func (mx *MutableIndex) Degraded() error {
+	return mx.sx.mut.degradedErr()
+}
+
+// ClearDegraded re-arms writes after degradation: the WAL's fail-stop
+// state is recovered (the poisoned segment is abandoned; the next append
+// opens a fresh one) and the degraded flag clears. It fails — and the
+// index stays degraded — if the log cannot be recovered. A no-op on a
+// healthy index. Call it only once the underlying fault (a full or
+// failing disk, usually) is actually fixed; an immediately recurring
+// append failure just degrades the index again.
+func (mx *MutableIndex) ClearDegraded() error {
+	m := mx.sx.mut
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.degraded.Load() == nil {
+		return nil
+	}
+	if m.wal != nil {
+		if err := m.wal.Recover(); err != nil {
+			return fmt.Errorf("resinfer: clearing degraded state: %w", err)
+		}
+	}
+	m.degraded.Store(nil)
+	return nil
+}
+
+// SyncWAL forces an fsync of the attached write-ahead log (a no-op
+// without one); the graceful-shutdown drain calls it so every
+// acknowledged mutation is on disk before the process exits.
+func (mx *MutableIndex) SyncWAL() error {
+	w := mx.sx.mut.wal
+	if w == nil {
+		return nil
+	}
+	return w.Sync()
+}
+
+// Checkpoint writes a checkpoint snapshot covering the current state
+// and trims the log behind it (a no-op without a WAL) — the same
+// operation a completed compaction pass performs. The graceful-shutdown
+// drain calls it so a clean stop leaves nothing to replay.
+func (mx *MutableIndex) Checkpoint() error {
+	return mx.maybeWALCheckpoint()
+}
+
 // MutationStats snapshots the streaming counters.
 func (mx *MutableIndex) MutationStats() MutationStats {
 	st := MutationStats{

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resinfer/internal/fault"
 	"resinfer/internal/heap"
 	"resinfer/internal/stream"
 	"resinfer/internal/wal"
@@ -15,8 +16,9 @@ import (
 
 // Sentinel errors of the mutation API. Callers (notably internal/server)
 // branch HTTP status codes on errors.Is: an ErrInvalidVector is the
-// caller's fault (400), anything else — a failed shard rebuild, a WAL
-// append failure — is internal (500).
+// caller's fault (400), an ErrDegraded means writes are temporarily
+// refused (503 — the searches still work), anything else — a failed
+// shard rebuild, a WAL append failure — is internal (500).
 var (
 	// ErrImmutable reports a mutation on an index that was not built
 	// with NewMutable.
@@ -26,6 +28,21 @@ var (
 	// would poison exact memtable scans and corrupt comparator
 	// retraining on compaction).
 	ErrInvalidVector = errors.New("resinfer: invalid vector")
+	// ErrDegraded reports a mutation on an index that degraded itself to
+	// read-only after a persistent WAL failure: the durability contract
+	// ("an acknowledged mutation is recoverable") cannot be honored, so
+	// writes fail loudly instead of silently losing durability. Searches
+	// are unaffected. MutableIndex.ClearDegraded re-arms writes once the
+	// underlying fault is fixed.
+	ErrDegraded = errors.New("resinfer: index degraded to read-only after persistent WAL failure")
+)
+
+// walAppendRetries bounds the in-line retry of a transient WAL append
+// failure before the index declares itself degraded; retries back off
+// walAppendBackoff each.
+const (
+	walAppendRetries = 3
+	walAppendBackoff = 5 * time.Millisecond
 )
 
 // This file is the streaming-ingestion substrate of ShardedIndex: each
@@ -79,6 +96,46 @@ type mutState struct {
 	// the last record applied to this index (what a snapshot covers).
 	wal        *wal.Log
 	appliedLSN atomic.Uint64
+
+	// degraded holds the error that flipped the index read-only after a
+	// persistent WAL failure (nil while healthy). Atomic so /readyz can
+	// probe it without contending with mutations.
+	degraded atomic.Pointer[error]
+}
+
+// degradedErr returns the sticky degraded error, nil while healthy.
+func (m *mutState) degradedErr() error {
+	if p := m.degraded.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// walAppend runs one WAL append with bounded in-line retry: a transient
+// failure (e.g. a rolled-back write error) gets walAppendRetries
+// attempts with walAppendBackoff between them; when every attempt fails
+// the index flips itself degraded — fail-stop read-only — and the
+// mutation (and every later one) reports ErrDegraded. Called under m.mu.
+func (m *mutState) walAppend(do func() (uint64, error)) (uint64, error) {
+	var err error
+	for attempt := 0; attempt < walAppendRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(walAppendBackoff)
+		}
+		var lsn uint64
+		lsn, err = do()
+		if err == nil {
+			return lsn, nil
+		}
+		if errors.Is(err, wal.ErrClosed) {
+			// The log was closed deliberately (index shutdown), not lost:
+			// not a degradation, and retrying cannot help.
+			return 0, fmt.Errorf("resinfer: wal append: %w", err)
+		}
+	}
+	derr := fmt.Errorf("%w (cause: %v)", ErrDegraded, err)
+	m.degraded.Store(&derr)
+	return 0, derr
 }
 
 // Mutable reports whether the index accepts Add/Upsert/Delete.
@@ -186,6 +243,9 @@ func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if derr := m.degradedErr(); derr != nil {
+		return 0, derr
+	}
 	var s int
 	fresh := false
 	if id < 0 {
@@ -202,9 +262,9 @@ func (sx *ShardedIndex) mutUpsert(id int, v []float32) (int, error) {
 		// Log the caller-space vector: replay re-executes this exact
 		// path (same validation, same Cosine normalization), so a
 		// recovered index is bit-identical to one that never crashed.
-		lsn, err := m.wal.AppendUpsert(s, id, v)
+		lsn, err := m.walAppend(func() (uint64, error) { return m.wal.AppendUpsert(s, id, v) })
 		if err != nil {
-			return 0, fmt.Errorf("resinfer: wal append: %w", err)
+			return 0, err
 		}
 		m.appliedLSN.Store(lsn)
 	}
@@ -242,14 +302,17 @@ func (sx *ShardedIndex) Delete(id int) (bool, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if derr := m.degradedErr(); derr != nil {
+		return false, derr
+	}
 	s, live := m.owner[id]
 	if !live {
 		return false, nil
 	}
 	if m.wal != nil {
-		lsn, err := m.wal.AppendDelete(s, id)
+		lsn, err := m.walAppend(func() (uint64, error) { return m.wal.AppendDelete(s, id) })
 		if err != nil {
-			return false, fmt.Errorf("resinfer: wal append: %w", err)
+			return false, err
 		}
 		m.appliedLSN.Store(lsn)
 	}
@@ -431,6 +494,11 @@ func (sx *ShardedIndex) compactShard(s int) (bool, compactInfo, error) {
 		return false, compactInfo{}, nil
 	}
 
+	if fault.Active() {
+		if ferr := fault.CheckArg(fault.SiteCompactBuild, s); ferr != nil {
+			return false, compactInfo{}, fmt.Errorf("resinfer: compacting shard %d: %w", s, ferr)
+		}
+	}
 	buildStart := time.Now()
 	newIdx, err := New(rows, sx.kind, opts)
 	if err != nil {
@@ -453,6 +521,11 @@ func (sx *ShardedIndex) compactShard(s int) (bool, compactInfo, error) {
 		newBaseHas[gid] = struct{}{}
 	}
 
+	if fault.Active() {
+		if ferr := fault.CheckArg(fault.SiteCompactSwap, s); ferr != nil {
+			return false, compactInfo{}, fmt.Errorf("resinfer: swapping compacted shard %d: %w", s, ferr)
+		}
+	}
 	// Hot swap: everything after the snapshot point survives in the
 	// segments — memtable rows written during the build stay (and shadow
 	// their compacted versions), tombstones added during the build stay

@@ -179,6 +179,13 @@ type SearchStats struct {
 	ScanRate float64
 	// PrunedRate is Pruned / Comparisons.
 	PrunedRate float64
+	// ShardsOK and ShardsFailed report fan-out coverage on a sharded
+	// search: how many shards contributed to the merge and how many
+	// failed or were abandoned at the deadline. Both are zero on
+	// single-index searches; ShardsFailed is only ever non-zero on the
+	// deadline-aware path, where ShardsFailed > 0 with a nil error marks
+	// a partial result.
+	ShardsOK, ShardsFailed int
 }
 
 // session is one pooled unit of per-query state: a resettable evaluator

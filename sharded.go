@@ -1,6 +1,7 @@
 package resinfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"resinfer/internal/fault"
 	"resinfer/internal/heap"
 	"resinfer/internal/obs"
 	"resinfer/internal/persist"
@@ -91,11 +93,19 @@ func (sx *ShardedIndex) SetShardObserver(fn func(shard int, d time.Duration, st 
 // shardOut is one shard's contribution before the merge. The ns slice is
 // pooled and reused across queries; rq is the per-shard combining queue
 // of the mutable path (base hits + memtable hits), allocated lazily.
+// done, t0 and d are only used by the deadline-aware fan-out: done is
+// written exclusively by the coordinating goroutine (after receiving the
+// shard's completion over a channel, which orders the slot's other
+// fields), and marks slots that are safe to merge — an abandoned
+// straggler may still be writing its own slot.
 type shardOut struct {
-	ns  []Neighbor
-	rq  *heap.ResultQueue
-	st  SearchStats
-	err error
+	ns   []Neighbor
+	rq   *heap.ResultQueue
+	st   SearchStats
+	err  error
+	done bool
+	t0   time.Time
+	d    time.Duration
 }
 
 // fanScratch is the pooled per-query fan-out state.
@@ -287,28 +297,51 @@ func (sx *ShardedIndex) Search(q []float32, k int, mode Mode, budget int) ([]Nei
 // aggregated across shards: Comparisons and Pruned are summed, ScanRate is
 // the comparison-weighted average.
 func (sx *ShardedIndex) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(nil, q, k, mode, budget, sx.workers, nil)
+	return sx.searchFan(nil, nil, q, k, mode, budget, sx.workers, nil)
 }
 
 // SearchWithStatsTraced is SearchWithStats additionally recording the
 // fan-out, merge and per-shard stage timings into tr (nil tr behaves
 // exactly like SearchWithStats).
 func (sx *ShardedIndex) SearchWithStatsTraced(q []float32, k int, mode Mode, budget int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(nil, q, k, mode, budget, sx.workers, tr)
+	return sx.searchFan(nil, nil, q, k, mode, budget, sx.workers, tr)
+}
+
+// SearchWithStatsCtx is SearchWithStats under a deadline: every shard is
+// probed in its own goroutine, and when ctx expires the stragglers are
+// abandoned and the merge returns whatever arrived. Stats.ShardsOK and
+// Stats.ShardsFailed report coverage — ShardsFailed > 0 with a nil error
+// is a partial result. The error is non-nil only when no shard
+// contributed (all failed, or the deadline preempted every probe, in
+// which case it is ctx.Err()). Abandoned probes finish on their own
+// goroutines and release their scratch to the garbage collector, so a
+// stuck shard costs memory, never a stalled request.
+func (sx *ShardedIndex) SearchWithStatsCtx(ctx context.Context, q []float32, k int, mode Mode, budget int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return sx.searchFan(ctx, nil, q, k, mode, budget, sx.workers, tr)
 }
 
 // SearchInto is SearchWithStats appending the hits to dst; with a reused
 // dst the whole fan-out runs without allocations at steady state.
 func (sx *ShardedIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
-	return sx.searchFan(dst, q, k, mode, budget, sx.workers, nil)
+	return sx.searchFan(nil, dst, q, k, mode, budget, sx.workers, nil)
 }
 
-// searchFan queries up to workers shards concurrently through pooled
-// per-shard result buffers, then merges into dst. A non-nil tr records
-// the pipeline stages ("fanout", "merge") and one entry per shard; the
-// tr == nil path takes a single predictable branch per probe and stays
-// allocation-free.
-func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode, budget, workers int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
+// errFanAbandoned marks an all-shards-abandoned merge so searchFan can
+// substitute the context's own error.
+var errFanAbandoned = errors.New("resinfer: every shard abandoned at deadline")
+
+// searchFan queries the shards through pooled per-shard result buffers,
+// then merges into dst. A nil ctx is the plain path: up to workers
+// shards probed concurrently (sequentially for workers <= 1), any shard
+// error fails the whole query, and with tr == nil the query is
+// allocation-free at steady state. A non-nil ctx is the deadline-aware
+// path: one goroutine per shard, stragglers abandoned when ctx expires,
+// failed or abandoned shards skipped by the merge and counted in
+// SearchStats.ShardsFailed.
+func (sx *ShardedIndex) searchFan(ctx context.Context, dst []Neighbor, q []float32, k int, mode Mode, budget, workers int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
 	if len(q) != sx.userDim {
 		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
 	}
@@ -326,7 +359,17 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 	if tr != nil {
 		fanStart = time.Now()
 	}
-	if workers <= 1 || len(sx.shards) == 1 {
+	abandoned := false
+	if ctx != nil {
+		abandoned = sx.fanDeadline(ctx, outs, q, qScan, k, mode, budget, tr != nil)
+		if tr != nil {
+			for s := range outs {
+				if outs[s].done && outs[s].err == nil {
+					tr.Shard(s, outs[s].t0, outs[s].d, outs[s].st.Comparisons, outs[s].st.Pruned)
+				}
+			}
+		}
+	} else if workers <= 1 || len(sx.shards) == 1 {
 		// The sequential fan-out calls the probe as a plain method; the
 		// parallel fan-out lives in its own method so no closure here
 		// captures qScan (which would heap-box it on every call). This
@@ -342,9 +385,19 @@ func (sx *ShardedIndex) searchFan(dst []Neighbor, q []float32, k int, mode Mode,
 		tr.End("fanout", fanStart)
 		mergeStart = time.Now()
 	}
-	dst, st, err := sx.merge(dst, fs, q, k)
+	dst, st, err := sx.merge(dst, fs, q, k, ctx != nil)
+	if err == errFanAbandoned {
+		if ce := ctx.Err(); ce != nil {
+			err = ce
+		}
+	}
 	if tr != nil {
 		tr.End("merge", mergeStart)
+	}
+	if abandoned {
+		// Straggler goroutines still own slots of fs; drop the scratch to
+		// the garbage collector instead of racing them through the pool.
+		return dst, st, err
 	}
 	sx.fanPool.Put(fs)
 	return dst, st, err
@@ -369,10 +422,74 @@ func (sx *ShardedIndex) fanParallel(outs []shardOut, q, qScan []float32, k int, 
 	wg.Wait()
 }
 
+// fanDeadline probes every shard on its own goroutine and waits for
+// completions until ctx expires, then abandons the stragglers. Each
+// completion is delivered over a buffered channel (so abandoned probes
+// never block) and marks its slot done — the channel receive orders the
+// straggler's writes before the coordinator's reads, making per-slot
+// access race-free without locking. Shard timings land in the slot, not
+// in tr: a straggler finishing after the caller has released the trace
+// must not touch it, so searchFan emits trace entries for done shards
+// only, after the fan returns.
+func (sx *ShardedIndex) fanDeadline(ctx context.Context, outs []shardOut, q, qScan []float32, k int, mode Mode, budget int, timed bool) (abandoned bool) {
+	for s := range outs {
+		outs[s].done = false
+	}
+	doneCh := make(chan int, len(sx.shards))
+	for s := range sx.shards {
+		go func(s int) {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			sx.searchShardObs(s, outs, q, qScan, k, mode, budget, nil)
+			if timed {
+				outs[s].t0, outs[s].d = t0, time.Since(t0)
+			}
+			doneCh <- s
+		}(s)
+	}
+	for n := 0; n < len(sx.shards); n++ {
+		select {
+		case s := <-doneCh:
+			outs[s].done = true
+		case <-ctx.Done():
+			// Collect probes that completed concurrently with the deadline,
+			// then walk away from the rest.
+			for {
+				select {
+				case s := <-doneCh:
+					outs[s].done = true
+				default:
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // searchShardObs probes one shard into outs[s], timing the probe when a
 // shard observer is installed or a trace is attached. The untimed path
-// costs a single branch.
+// costs a single branch. A panic inside the probe (index bug, or an
+// injected fault) is isolated here into a per-shard error rather than
+// killing the process; the recover costs an open-coded defer, keeping
+// the steady-state path allocation-free.
 func (sx *ShardedIndex) searchShardObs(s int, outs []shardOut, q, qScan []float32, k int, mode Mode, budget int, tr *obs.Trace) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs[s].ns = outs[s].ns[:0]
+			outs[s].err = fmt.Errorf("resinfer: shard %d panicked: %v", s, r)
+		}
+	}()
+	if fault.Active() {
+		if err := fault.CheckArg(fault.SiteShardSearch, s); err != nil {
+			outs[s].ns = outs[s].ns[:0]
+			outs[s].st = SearchStats{}
+			outs[s].err = err
+			return
+		}
+	}
 	obsOn := sx.shardObs != nil || tr != nil
 	var t0 time.Time
 	if obsOn {
@@ -403,9 +520,15 @@ func (sx *ShardedIndex) searchShardObs(s int, outs []shardOut, q, qScan []float3
 // merge-key form with tombstoned and shadowed rows filtered out (see
 // searchShardMut); the merge additionally drops any duplicate global ID
 // so a row can never be reported twice across segments.
-func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int) ([]Neighbor, SearchStats, error) {
+//
+// In partial mode (the deadline-aware fan) a failed or abandoned shard
+// is skipped and counted in ShardsFailed instead of failing the query;
+// the merge errors only when no shard contributed — with the first
+// shard error, or errFanAbandoned when every probe was preempted.
+func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int, partial bool) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	var scanWeighted float64
+	var firstErr error
 	rq := fs.rq
 	rq.Reset(k)
 	mutable := sx.mut != nil
@@ -417,9 +540,24 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 		}
 	}
 	for s := range fs.outs {
-		if fs.outs[s].err != nil {
+		if partial {
+			// An abandoned slot may still be written by its straggler: the
+			// done flag gates every other field read.
+			if !fs.outs[s].done {
+				agg.ShardsFailed++
+				continue
+			}
+			if fs.outs[s].err != nil {
+				agg.ShardsFailed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
+				}
+				continue
+			}
+		} else if fs.outs[s].err != nil {
 			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
 		}
+		agg.ShardsOK++
 		st := fs.outs[s].st
 		agg.Comparisons += st.Comparisons
 		agg.Pruned += st.Pruned
@@ -445,6 +583,12 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 	if agg.Comparisons > 0 {
 		agg.ScanRate = scanWeighted / float64(agg.Comparisons)
 		agg.PrunedRate = float64(agg.Pruned) / float64(agg.Comparisons)
+	}
+	if partial && agg.ShardsOK == 0 {
+		if firstErr == nil {
+			firstErr = errFanAbandoned
+		}
+		return dst, agg, firstErr
 	}
 	start := len(dst)
 	for i := 0; i < rq.Len(); i++ {
@@ -475,6 +619,23 @@ func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int, mode Mode, budge
 // receives its query's fan-out, merge and per-shard stage timings. A
 // nil traces slice (or nil entries) is exactly SearchBatch.
 func (sx *ShardedIndex) SearchBatchTraced(queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
+	return sx.searchBatch(nil, queries, k, mode, budget, workers, traces)
+}
+
+// SearchBatchCtx is SearchBatchTraced under a deadline: every query runs
+// through the deadline-aware fan-out (see SearchWithStatsCtx), so a
+// stuck shard costs at most the remaining budget of the queries probing
+// it and each BatchResult independently reports partial coverage via
+// its Stats.ShardsOK/ShardsFailed. Once ctx expires, queries not yet
+// started fail fast with ctx's error.
+func (sx *ShardedIndex) SearchBatchCtx(ctx context.Context, queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return sx.searchBatch(ctx, queries, k, mode, budget, workers, traces)
+}
+
+func (sx *ShardedIndex) searchBatch(ctx context.Context, queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
 	if err := validateBatch(queries, k, budget, sx.userDim); err != nil {
 		return nil, err
 	}
@@ -491,7 +652,13 @@ func (sx *ShardedIndex) SearchBatchTraced(queries [][]float32, k int, mode Mode,
 				if qi < len(traces) {
 					tr = traces[qi]
 				}
-				ns, st, err := sx.searchFan(nil, queries[qi], k, mode, budget, 1, tr)
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						out[qi] = BatchResult{Err: err}
+						continue
+					}
+				}
+				ns, st, err := sx.searchFan(ctx, nil, queries[qi], k, mode, budget, 1, tr)
 				out[qi] = BatchResult{Neighbors: ns, Stats: st, Err: err}
 			}
 		}()
