@@ -78,6 +78,12 @@ func main() {
 		slowlogThresh = flag.Duration("slowlog-threshold", 250*time.Millisecond, "requests slower than this land in GET /debug/slowlog with per-stage timings (negative disables)")
 		accessLog     = flag.Bool("access-log", false, "emit one structured line per request to stderr")
 		pprofFlag     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		qualitySample  = flag.Int("quality-sample", 256, "shadow-recall sampling: re-run ~1/N of live queries as exact scans off-path and serve quality estimates at GET /debug/quality (0 disables)")
+		qualityWorkers = flag.Int("quality-workers", 1, "shadow ground-truth worker goroutines (with -quality-sample)")
+		sloLatency     = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO threshold for GET /debug/slo burn rates")
+		sloLatencyTgt  = flag.Float64("slo-latency-target", 0.99, "latency SLO target: fraction of requests that must finish within -slo-latency")
+		sloRecallTgt   = flag.Float64("slo-recall-target", 0.95, "recall SLO target: mean shadow recall@k must stay at or above this")
 	)
 	flag.Parse()
 
@@ -126,6 +132,12 @@ func main() {
 		SlowLogThreshold: *slowlogThresh,
 		AccessLog:        *accessLog,
 		EnablePprof:      *pprofFlag,
+
+		QualitySampleRate:   *qualitySample,
+		QualityWorkers:      *qualityWorkers,
+		SLOLatencyThreshold: *sloLatency,
+		SLOLatencyTarget:    *sloLatencyTgt,
+		SLORecallTarget:     *sloRecallTgt,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

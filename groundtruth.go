@@ -1,0 +1,126 @@
+package resinfer
+
+import (
+	"fmt"
+
+	"resinfer/internal/heap"
+	"resinfer/internal/vec"
+)
+
+// gtScratch is the pooled per-scan state of GroundTruthSearch: the
+// bounded result queue, the Cosine query normalization buffer, and the
+// admitted-ID → shard attribution map. Everything is capacity-reused so
+// steady-state ground-truth scans allocate nothing.
+type gtScratch struct {
+	rq      *heap.ResultQueue
+	qbuf    []float32
+	shardOf map[int]int
+}
+
+// GroundTruthSearch runs an exact brute-force top-k scan over the whole
+// index — every base row of every shard plus every memtable row,
+// tombstone- and shadow-aware — using the same SIMD flat-matrix kernels
+// and merge keys as the serving path. It is the online ground-truth
+// oracle for shadow quality sampling: its ranking is exactly what a
+// perfect (recall-1.0) search would have served at the same instant.
+//
+// Results are appended to dst in ascending merge-key order (the serving
+// order); shards receives, aligned with the returned neighbors, the
+// shard each ground-truth neighbor currently lives in (memtable rows
+// attribute to their owning shard). The int result is the number of
+// rows compared. Each shard's segment lock is held for that shard's
+// scan, so per-shard visibility is consistent with a concurrent search;
+// shards are scanned sequentially, off the request path.
+func (sx *ShardedIndex) GroundTruthSearch(dst []Neighbor, shards []int, q []float32, k int) ([]Neighbor, []int, int, error) {
+	if len(q) != sx.userDim {
+		return dst, shards, 0, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
+	}
+	if k <= 0 {
+		return dst, shards, 0, fmt.Errorf("resinfer: k must be positive, got %d", k)
+	}
+	gs := sx.gtPool.Get().(*gtScratch)
+	defer sx.gtPool.Put(gs)
+	gs.rq.Reset(k)
+	for id := range gs.shardOf {
+		delete(gs.shardOf, id)
+	}
+
+	// qScan is the query in "scan space": normalized for Cosine (both
+	// base and memtable rows are stored normalized), raw otherwise. For
+	// InnerProduct the base rows are norm-augmented but not scaled, so a
+	// raw dot product over the first userDim coordinates is the true
+	// inner product — identical to the memtable key and the merge key.
+	qScan := q
+	if sx.metric == Cosine {
+		if len(gs.qbuf) != sx.userDim {
+			gs.qbuf = make([]float32, sx.userDim)
+		}
+		var err error
+		qScan, err = (&metricState{kind: Cosine}).transformInto(gs.qbuf, q)
+		if err != nil {
+			return dst, shards, 0, err
+		}
+	}
+	ip := sx.metric == InnerProduct
+
+	rq := gs.rq
+	comparisons := 0
+	for s := range sx.shards {
+		var seg *shardSeg
+		if sx.mut != nil {
+			seg = sx.mut.segs[s]
+			seg.mu.RLock()
+		}
+		base := sx.shards[s]
+		gids := sx.globalID[s]
+		flat := base.data.Flat()
+		stride := base.data.Dim()
+		rows := base.data.Rows()
+		for i := 0; i < rows; i++ {
+			gid := gids[i]
+			if seg != nil && (seg.dead.Has(gid) || seg.mem.Has(gid)) {
+				continue
+			}
+			var key float32
+			if ip {
+				key = -vec.DotFlat(qScan, flat, i*stride)
+			} else {
+				key = vec.L2SqFlat(qScan, flat, i*stride)
+			}
+			comparisons++
+			if key < rq.Threshold() && rq.Push(gid, key) {
+				gs.shardOf[gid] = s
+			}
+		}
+		if seg != nil {
+			mem := seg.mem
+			for i := 0; i < mem.Len(); i++ {
+				row := mem.Vec(i)
+				var key float32
+				if ip {
+					key = -vec.Dot(qScan, row)
+				} else {
+					key = vec.L2Sq(qScan, row)
+				}
+				comparisons++
+				if key < rq.Threshold() && rq.Push(mem.ID(i), key) {
+					gs.shardOf[mem.ID(i)] = s
+				}
+			}
+			seg.mu.RUnlock()
+		}
+	}
+
+	nres := rq.Len()
+	start := len(dst)
+	for i := 0; i < nres; i++ {
+		dst = append(dst, Neighbor{})
+		shards = append(shards, 0)
+	}
+	for i := nres - 1; i >= 0; i-- {
+		it, _ := rq.PopMax()
+		dst[start+i] = Neighbor{ID: it.ID, Distance: it.Dist}
+		shards[start+i] = gs.shardOf[it.ID]
+	}
+	return dst, shards, comparisons, nil
+}

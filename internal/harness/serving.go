@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"resinfer"
 	"resinfer/internal/dataset"
+	"resinfer/internal/quality"
 	"resinfer/internal/server"
 )
 
@@ -58,6 +60,28 @@ type OverloadEntry struct {
 	MaxQueueDepth int     `json:"max_queue_depth"`
 }
 
+// QualityEntry is the shadow-sampling section of the serving bench: the
+// same traffic measured two ways. LiveRecall is the server's own
+// estimate from re-running sampled queries as exact off-path scans (the
+// /debug/quality figure an operator watches); OfflineRecall is the
+// classic bench measurement of the very same responses against a
+// precomputed brute-force ground truth. The two must agree — the bench
+// asserts |live − offline| ≤ 2 points — and the throughput delta
+// against the unsampled baseline run is the sampling overhead.
+type QualityEntry struct {
+	Mode          string  `json:"mode"`
+	SampleRate    int     `json:"sample_rate"`
+	Sampled       uint64  `json:"sampled"`
+	Measured      uint64  `json:"measured"`
+	Dropped       uint64  `json:"dropped"`
+	LiveRecall    float64 `json:"live_recall_at_10"`
+	OfflineRecall float64 `json:"offline_recall_at_10"`
+	AgreementPts  float64 `json:"agreement_pts"`
+	BaselineQPS   float64 `json:"baseline_qps"`
+	SampledQPS    float64 `json:"sampled_qps"`
+	OverheadPct   float64 `json:"overhead_pct"`
+}
+
 // ServingResult is the machine-readable document cmd/bench writes to
 // BENCH_serving.json so the serving-path perf trajectory is recorded
 // across PRs.
@@ -72,6 +96,7 @@ type ServingResult struct {
 	Clients  int            `json:"clients"`
 	Queries  int            `json:"queries"`
 	Entries  []ServingEntry `json:"entries"`
+	Quality  *QualityEntry  `json:"quality,omitempty"`
 	Overload *OverloadEntry `json:"overload,omitempty"`
 }
 
@@ -129,6 +154,18 @@ func RunServing(w io.Writer, outPath string) error {
 		fmt.Fprintf(w, "  %-8s  qps=%8.1f  p50=%6.2fms  p99=%6.2fms  batch=%.1f  recall@10=%.4f\n",
 			entry.Mode, entry.QPS, entry.P50Ms, entry.P99Ms, entry.AvgBatchSize, entry.RecallAt10)
 	}
+
+	// Quality section: replay the approximate mode with every query
+	// shadow-sampled and check the server's own recall estimate against
+	// the offline measurement of the same traffic.
+	last := result.Entries[len(result.Entries)-1]
+	qe, err := runQualitySection(sx, ds.Queries, gt, last.Mode, k, budget, clients, last.QPS)
+	if err != nil {
+		return err
+	}
+	result.Quality = &qe
+	fmt.Fprintf(w, "  quality   live=%.4f  offline=%.4f  (Δ %.2fpts)  measured=%d/%d  overhead=%.1f%%\n",
+		qe.LiveRecall, qe.OfflineRecall, qe.AgreementPts, qe.Measured, qe.Sampled+qe.Dropped, qe.OverheadPct)
 
 	// Overload section: offer ~2x the measured exact-mode capacity and
 	// record how the admission queue splits it into goodput and 429s.
@@ -209,6 +246,82 @@ func runServingMode(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, 
 		return ServingEntry{}, err
 	}
 	return entry, nil
+}
+
+// runQualitySection re-serves the index with shadow sampling at rate 1
+// (every query is captured and re-run off-path as an exact scan),
+// drives the same traffic, and compares the live estimate from
+// /debug/quality against the offline ground-truth recall of the same
+// responses. Disagreement past 2 points fails the bench — the live
+// estimator would be lying to operators.
+func runQualitySection(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, mode string, k, budget, clients int, baselineQPS float64) (QualityEntry, error) {
+	srv := server.New(sx, server.Config{
+		DefaultK: k, DefaultBudget: budget,
+		QualitySampleRate: 1, QualityWorkers: 4,
+	})
+	base, shutdown, err := serveLoopback(srv)
+	if err != nil {
+		return QualityEntry{}, err
+	}
+
+	entry, err := driveClients(base, queries, gt, mode, k, budget, clients)
+	if err != nil {
+		_ = shutdown()
+		return QualityEntry{}, err
+	}
+
+	// Drain the shadow workers: every admitted sample must be measured
+	// before the estimate is final.
+	var snap quality.Snapshot
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hr, err := http.Get(base + "/debug/quality")
+		if err != nil {
+			_ = shutdown()
+			return QualityEntry{}, err
+		}
+		err = json.NewDecoder(hr.Body).Decode(&snap)
+		hr.Body.Close()
+		if err != nil {
+			_ = shutdown()
+			return QualityEntry{}, err
+		}
+		if snap.Sampled+snap.Dropped >= uint64(len(queries)) && snap.Measured >= snap.Sampled {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = shutdown()
+			return QualityEntry{}, fmt.Errorf("shadow sampler stuck: measured %d of %d admitted", snap.Measured, snap.Sampled)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := shutdown(); err != nil {
+		return QualityEntry{}, err
+	}
+	if snap.Measured == 0 {
+		return QualityEntry{}, fmt.Errorf("shadow sampler measured nothing (%d sampled, %d dropped)", snap.Sampled, snap.Dropped)
+	}
+
+	qe := QualityEntry{
+		Mode:          mode,
+		SampleRate:    snap.SampleRate,
+		Sampled:       snap.Sampled,
+		Measured:      snap.Measured,
+		Dropped:       snap.Dropped,
+		LiveRecall:    snap.RecallMean,
+		OfflineRecall: entry.RecallAt10,
+		AgreementPts:  math.Abs(snap.RecallMean-entry.RecallAt10) * 100,
+		BaselineQPS:   baselineQPS,
+		SampledQPS:    entry.QPS,
+	}
+	if baselineQPS > 0 {
+		qe.OverheadPct = 100 * (baselineQPS - entry.QPS) / baselineQPS
+	}
+	if qe.AgreementPts > 2.0 {
+		return QualityEntry{}, fmt.Errorf("live recall %.4f disagrees with offline %.4f by %.2f points (limit 2.0)",
+			qe.LiveRecall, qe.OfflineRecall, qe.AgreementPts)
+	}
+	return qe, nil
 }
 
 // runOverloadSection offers the server roughly 2x capacity QPS from an

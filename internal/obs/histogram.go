@@ -164,6 +164,27 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// CountAtOrBelow returns, from one consistent snapshot, the number of
+// observations that landed in buckets whose upper bound is <= le, the
+// total observation count, and the effective bound actually used (the
+// largest bucket bound <= le; NaN when le is below every bound, in
+// which case below is 0). It is the primitive an SLO error-rate needs:
+// "how many requests finished within the threshold".
+func (h *Histogram) CountAtOrBelow(le float64) (below, total uint64, bound float64) {
+	counts := h.snapshot()
+	bound = math.NaN()
+	for i, b := range h.bounds {
+		if b <= le {
+			below += counts[i]
+			bound = b
+		}
+	}
+	for _, c := range counts {
+		total += c
+	}
+	return below, total, bound
+}
+
 // write renders the histogram: cumulative le buckets, _sum and _count.
 // _count always equals the +Inf bucket because both derive from the
 // same snapshot.

@@ -127,6 +127,12 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// RegisterHistogram exports an existing histogram (built with
+// NewHistogram and fed elsewhere) under name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, typeHistogram, labels, h)
+}
+
 // WritePrometheus renders every family in registration order in the
 // Prometheus text exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {

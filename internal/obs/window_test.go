@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- Histogram.Quantile edge cases ---
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 0 {
+			t.Fatalf("Quantile(%g) on empty histogram = %g, want 0", p, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	h.Observe(3) // lands in the (2, 4] bucket
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		got := h.Quantile(p)
+		// With one observation the target rank clamps to 1 and full
+		// interpolation reaches the bucket's upper bound.
+		if got != 4 {
+			t.Fatalf("Quantile(%g) with one observation = %g, want 4", p, got)
+		}
+	}
+}
+
+func TestQuantileAllInOneBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(2.5) // all in (2, 4]
+	}
+	lastQ := 0.0
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(p)
+		if got < 2 || got > 4 {
+			t.Fatalf("Quantile(%g) = %g, want within the (2,4] bucket", p, got)
+		}
+		if got < lastQ {
+			t.Fatalf("Quantile not monotone: p=%g gave %g after %g", p, got, lastQ)
+		}
+		lastQ = got
+	}
+	// Out-of-range p clamps rather than extrapolating.
+	if lo, hi := h.Quantile(-0.5), h.Quantile(1.5); lo < 2 || hi > 4 {
+		t.Fatalf("clamped quantiles escaped bucket: p=-0.5 -> %g, p=1.5 -> %g", lo, hi)
+	}
+}
+
+func TestQuantileOverflowBucketClamps(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %g, want largest finite bound 2", got)
+	}
+}
+
+func TestQuantileConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(1e-3, 2, 16))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			v := seed
+			for {
+				h.Observe(v)
+				v = math.Mod(v*1.3+1e-3, 40)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(float64(g + 1))
+	}
+	for i := 0; i < 500; i++ {
+		q := h.Quantile(0.5)
+		if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+			t.Errorf("Quantile under concurrent Observe = %g", q)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c := h.Count(); c == 0 {
+		t.Fatal("no observations landed")
+	}
+}
+
+func TestCountAtOrBelow(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	below, total, bound := h.CountAtOrBelow(0.1)
+	if below != 3 || total != 5 || bound != 0.1 {
+		t.Fatalf("CountAtOrBelow(0.1) = (%d, %d, %g), want (3, 5, 0.1)", below, total, bound)
+	}
+	// A threshold between bounds uses the largest bound below it.
+	below, _, bound = h.CountAtOrBelow(0.5)
+	if below != 3 || bound != 0.1 {
+		t.Fatalf("CountAtOrBelow(0.5) = (%d, bound %g), want (3, 0.1)", below, bound)
+	}
+	// Below every bound: nothing countable.
+	below, total, bound = h.CountAtOrBelow(0.001)
+	if below != 0 || total != 5 || !math.IsNaN(bound) {
+		t.Fatalf("CountAtOrBelow(0.001) = (%d, %d, %g), want (0, 5, NaN)", below, total, bound)
+	}
+}
+
+// --- Window rotation ---
+
+func TestWindowRotationBoundary(t *testing.T) {
+	base := time.Unix(1000, 0)
+	cur := base
+	w := NewWindow([]float64{0.5, 1}, 4*time.Second, 4) // 1s slots
+	w.setClock(func() time.Time { return cur })
+
+	w.Observe(0.25)
+	w.Observe(0.25)
+	if got := w.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+
+	// Crossing one slot boundary keeps the old slot's observations.
+	cur = base.Add(1100 * time.Millisecond)
+	w.Observe(0.75)
+	if got := w.Count(); got != 3 {
+		t.Fatalf("Count after one rotation = %d, want 3", got)
+	}
+
+	// Advancing to the last slot still covering the first observations.
+	cur = base.Add(3900 * time.Millisecond)
+	if got := w.Count(); got != 3 {
+		t.Fatalf("Count at window edge = %d, want 3", got)
+	}
+
+	// One more slot ages out the first two observations...
+	cur = base.Add(4100 * time.Millisecond)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("Count after first slot aged out = %d, want 1", got)
+	}
+	if got := w.Mean(); got != 0.75 {
+		t.Fatalf("Mean after aging = %g, want 0.75", got)
+	}
+
+	// ...and a jump far past the window clears everything, including a
+	// step count larger than the ring (the skip-cap path).
+	cur = base.Add(time.Hour)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("Count after full-window jump = %d, want 0", got)
+	}
+	if got := w.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on empty window = %g, want 0", got)
+	}
+}
+
+func TestWindowQuantileMatchesHistogramShape(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	w := NewWindow(bounds, time.Minute, 6)
+	h := NewHistogram(bounds)
+	for i := 0; i < 50; i++ {
+		v := float64(i%8) + 0.5
+		w.Observe(v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if hw, hh := w.Quantile(p), h.Quantile(p); hw != hh {
+			t.Fatalf("Quantile(%g): window %g != histogram %g (same data, no rotation)", p, hw, hh)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatalf("unseeded EWMA = %g, want NaN", e.Value())
+	}
+	e.Observe(1)
+	if got := e.Value(); got != 1 {
+		t.Fatalf("seeded EWMA = %g, want 1", got)
+	}
+	e.Observe(0)
+	if got := e.Value(); got != 0.5 {
+		t.Fatalf("EWMA after decay = %g, want 0.5", got)
+	}
+}

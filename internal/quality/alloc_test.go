@@ -1,0 +1,108 @@
+package quality_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/quality"
+)
+
+// allocSetup builds the guard's fixture: a sharded index with the
+// shadow sampler attached at an aggressive rate (1/8 instead of the
+// production 1/256, so the 200-run measurement crosses the sampled path
+// ~25 times) and a long warmup that seeds every pool — job buffers,
+// ground-truth scratch, the fingerprint sketch — before measuring.
+func allocSetup(t testing.TB) (*resinfer.ShardedIndex, *quality.Tracker, []float32) {
+	const n, dim = 2000, 32
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = make([]float32, dim)
+		for j := range data[i] {
+			data[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	sx, err := resinfer.NewSharded(data, resinfer.Flat, 4, &resinfer.ShardOptions{SearchWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := quality.NewTracker(sx, quality.Config{SampleRate: 8, QueueDepth: 8})
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	return sx, tr, q
+}
+
+// TestShadowSampledSearchZeroAlloc enforces the tentpole's hot-path
+// bar: with the shadow sampler enabled, the untraced sharded search
+// path (search + MaybeSample) stays at 0 allocs/op — including the
+// amortized cost of sampled iterations and the off-path ground-truth
+// worker, since AllocsPerRun counts process-global allocations.
+func TestShadowSampledSearchZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	sx, tr, q := allocSetup(t)
+	defer tr.Close()
+	const k = 10
+	var dst []resinfer.Neighbor
+	// Warm every pool across many sampled iterations, then let the
+	// worker drain so mid-measurement processing is steady-state.
+	for i := 0; i < 256; i++ {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], q, k, resinfer.Exact, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.MaybeSample(q, dst, k)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Snapshot().Measured < 30 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], q, k, resinfer.Exact, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.MaybeSample(q, dst, k)
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded search with shadow sampling on: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSearchWithShadowSampling reports the sampler's hot-path
+// overhead (compare against the same loop in the root package's
+// sharded benchmarks) and must show 0 B/op at steady state.
+func BenchmarkSearchWithShadowSampling(b *testing.B) {
+	sx, tr, q := allocSetup(b)
+	defer tr.Close()
+	const k = 10
+	var dst []resinfer.Neighbor
+	for i := 0; i < 64; i++ {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], q, k, resinfer.Exact, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.MaybeSample(q, dst, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], q, k, resinfer.Exact, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.MaybeSample(q, dst, k)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package quality_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package quality_test
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so strict allocs-per-op tests skip.
+const raceEnabled = true

@@ -1,0 +1,130 @@
+// Package quality is the online answer-quality subsystem: it shadows a
+// sampled fraction of live queries with exact ground-truth scans on an
+// off-path worker pool, folds the resulting recall / rank-displacement
+// / score-error measurements into windowed estimators, and tracks
+// recall and latency SLO burn rates over multiple windows. Nothing in
+// this package runs on the request hot path except Tracker.MaybeSample,
+// which is a single atomic counter in the common (non-sampled) case.
+package quality
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// SpaceSaving is the classic space-saving heavy-hitter sketch over
+// uint64 fingerprints: it keeps at most cap counters; when a new key
+// arrives at capacity it replaces the minimum counter and inherits its
+// count (recorded as the estimate's error bound). Any key whose true
+// frequency exceeds N/cap is guaranteed to be present.
+type SpaceSaving struct {
+	mu    sync.Mutex
+	cap   int
+	idx   map[uint64]int // fingerprint -> slot
+	slots []ssSlot
+	total uint64
+}
+
+type ssSlot struct {
+	fp    uint64
+	count uint64
+	err   uint64 // overestimate bound inherited at replacement
+}
+
+// NewSpaceSaving returns a sketch keeping at most capacity counters.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{
+		cap:   capacity,
+		idx:   make(map[uint64]int, capacity),
+		slots: make([]ssSlot, 0, capacity),
+	}
+}
+
+// Offer counts one occurrence of fp.
+func (s *SpaceSaving) Offer(fp uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if i, ok := s.idx[fp]; ok {
+		s.slots[i].count++
+		return
+	}
+	if len(s.slots) < s.cap {
+		s.idx[fp] = len(s.slots)
+		s.slots = append(s.slots, ssSlot{fp: fp, count: 1})
+		return
+	}
+	// Replace the minimum counter; the new key inherits its count as
+	// both estimate and error bound.
+	min := 0
+	for i := 1; i < len(s.slots); i++ {
+		if s.slots[i].count < s.slots[min].count {
+			min = i
+		}
+	}
+	old := s.slots[min]
+	delete(s.idx, old.fp)
+	s.slots[min] = ssSlot{fp: fp, count: old.count + 1, err: old.count}
+	s.idx[fp] = min
+}
+
+// HotKey is one heavy-hitter estimate.
+type HotKey struct {
+	Fingerprint uint64  `json:"fingerprint"`
+	Count       uint64  `json:"count"`
+	ErrorBound  uint64  `json:"error_bound"`
+	Share       float64 `json:"share"` // count / total offers
+}
+
+// Top returns up to n keys by descending estimated count.
+func (s *SpaceSaving) Top(n int) []HotKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HotKey, 0, len(s.slots))
+	for _, sl := range s.slots {
+		share := 0.0
+		if s.total > 0 {
+			share = float64(sl.count) / float64(s.total)
+		}
+		out = append(out, HotKey{Fingerprint: sl.fp, Count: sl.count, ErrorBound: sl.err, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Total returns the number of offers seen.
+func (s *SpaceSaving) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Fingerprint hashes a query vector onto a coarse grid (FNV-1a over
+// per-coordinate quantized values), so near-duplicate queries — the
+// retry storms and hot prompts a result cache would want to serve —
+// collide onto one heavy-hitter key.
+func Fingerprint(q []float32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range q {
+		g := math.Round(float64(v) * 16)
+		if g > 32767 {
+			g = 32767
+		} else if g < -32768 {
+			g = -32768
+		}
+		h ^= uint64(uint16(int16(g)))
+		h *= prime64
+	}
+	return h
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"resinfer"
 	"resinfer/internal/obs"
+	"resinfer/internal/quality"
 )
 
 // metrics is the server's request-path instrumentation. Counters and
@@ -15,8 +17,9 @@ import (
 // the JSON document at /stats and the Prometheus exposition at
 // /metrics; every update on the request path is lock-free.
 type metrics struct {
-	start time.Time
-	reg   *obs.Registry
+	start   time.Time
+	reg     *obs.Registry
+	walSync string // WAL fsync policy label for build_info ("none" when no WAL)
 
 	requests       *obs.Counter // HTTP requests across all POST endpoints
 	queries        *obs.Counter // individual queries answered
@@ -82,6 +85,12 @@ func (m *metrics) init(reg *obs.Registry) {
 	reg.Gauge("resinfer_simd_level",
 		"Always 1; the level label names the active SIMD dispatch tier.",
 		obs.Label{Name: "level", Value: resinfer.SIMDLevel()}).Set(1)
+	reg.Gauge("resinfer_build_info",
+		"Always 1; labels identify the running build and its runtime configuration.",
+		obs.Label{Name: "version", Value: resinfer.Version},
+		obs.Label{Name: "goversion", Value: runtime.Version()},
+		obs.Label{Name: "simd", Value: resinfer.SIMDLevel()},
+		obs.Label{Name: "wal_sync", Value: m.walSync}).Set(1)
 }
 
 // StatsSnapshot is the JSON document served at GET /stats. Mutation is
@@ -90,7 +99,10 @@ func (m *metrics) init(reg *obs.Registry) {
 // rows, pending tombstones) and compaction/hot-swap timings.
 type StatsSnapshot struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Version         string  `json:"version"`
+	GoVersion       string  `json:"go_version"`
 	SIMDLevel       string  `json:"simd_level"`
+	WALSync         string  `json:"wal_sync"`
 	Requests        int64   `json:"requests"`
 	Queries         int64   `json:"queries"`
 	Errors          int64   `json:"errors"`
@@ -121,7 +133,10 @@ type StatsSnapshot struct {
 func (m *metrics) snapshot() StatsSnapshot {
 	s := StatsSnapshot{
 		UptimeSeconds:   time.Since(m.start).Seconds(),
+		Version:         resinfer.Version,
+		GoVersion:       runtime.Version(),
 		SIMDLevel:       resinfer.SIMDLevel(),
+		WALSync:         m.walSync,
 		Requests:        m.requests.Value(),
 		Queries:         m.queries.Value(),
 		Errors:          m.errors.Value(),
@@ -155,8 +170,11 @@ func (m *metrics) snapshot() StatsSnapshot {
 // supports into the registry via capability probes, so the server stays
 // decoupled from concrete index types: per-shard search timings and
 // work counters, compaction build/swap durations, WAL append/fsync
-// latency, and memtable/tombstone/segment gauges.
-func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator) {
+// latency, and memtable/tombstone/segment gauges. qt (may be nil) is
+// the shadow quality tracker; the index exposes a single compaction
+// observer slot, so the metrics observer also rolls the tracker's
+// since-compaction recall epoch.
+func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator, qt *quality.Tracker) {
 	reg.GaugeFunc("resinfer_index_points", "Rows currently searchable in the index.",
 		func() float64 { return float64(idx.Len()) })
 
@@ -197,6 +215,7 @@ func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator) {
 			build.ObserveDuration(ci.BuildDuration)
 			swap.ObserveDuration(ci.SwapDuration)
 			swaps.Inc()
+			qt.NoteCompaction() // nil-safe
 		})
 	}
 

@@ -35,10 +35,12 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"resinfer"
 	"resinfer/internal/obs"
+	"resinfer/internal/quality"
 )
 
 // Searcher is the slice of the resinfer API the server needs; both
@@ -106,6 +108,20 @@ type Config struct {
 	AccessLog bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// QualitySampleRate enables shadow quality sampling: one query in
+	// QualitySampleRate is captured and replayed off-path as an exact
+	// brute-force scan, feeding the live recall estimators at
+	// /debug/quality and /metrics. 0 disables; requires an index with a
+	// GroundTruthSearch (sharded or mutable).
+	QualitySampleRate int
+	// QualityWorkers sizes the ground-truth worker pool (default 1).
+	QualityWorkers int
+	// SLOLatencyThreshold / SLOLatencyTarget / SLORecallTarget define
+	// the objectives the /debug/slo burn tracker evaluates (defaults:
+	// 100ms at 0.99, recall 0.95).
+	SLOLatencyThreshold time.Duration
+	SLOLatencyTarget    float64
+	SLORecallTarget     float64
 }
 
 func (c Config) withDefaults() Config {
@@ -164,7 +180,10 @@ type Server struct {
 	batcher  *batcher // nil when micro-batching is disabled
 	sem      chan struct{}
 	mux      *http.ServeMux
-	access   *log.Logger // nil unless Config.AccessLog
+	access   *log.Logger      // nil unless Config.AccessLog
+	quality  *quality.Tracker // nil unless shadow sampling is enabled
+	slo      *quality.SLO
+	traceSeq atomic.Uint64 // request trace-ID allocator
 }
 
 // New wraps idx in a server. The caller must not reconfigure idx (e.g.
@@ -183,6 +202,10 @@ func New(idx Searcher, cfg Config) *Server {
 	s.ctxIdx, _ = idx.(ctxSearcher)
 	s.ctxBatch, _ = idx.(batchCtxSearcher)
 	s.degr, _ = idx.(degradable)
+	s.metrics.walSync = "none"
+	if wp, ok := idx.(walPolicied); ok {
+		s.metrics.walSync = wp.WALSyncPolicy()
+	}
 	s.metrics.init(s.reg)
 	obs.RegisterGoRuntime(s.reg)
 	if c.SlowLogThreshold > 0 {
@@ -220,8 +243,37 @@ func New(idx Searcher, cfg Config) *Server {
 		s.mux.HandleFunc("POST /delete", s.handleDelete)
 		s.mux.HandleFunc("POST /compact", s.handleCompact)
 	}
-	registerIndexMetrics(s.reg, idx, s.mut)
+	if c.QualitySampleRate > 0 {
+		if gt, ok := idx.(groundTruther); ok {
+			s.quality = quality.NewTracker(gt, quality.Config{
+				SampleRate: c.QualitySampleRate,
+				Workers:    c.QualityWorkers,
+			})
+			s.quality.Register(s.reg)
+			s.mux.HandleFunc("GET /debug/quality", s.handleQuality)
+		}
+	}
+	s.slo = quality.NewSLO(s.metrics.latency, s.quality, quality.SLOConfig{
+		LatencyThreshold: c.SLOLatencyThreshold,
+		LatencyTarget:    c.SLOLatencyTarget,
+		RecallTarget:     c.SLORecallTarget,
+	})
+	s.slo.Register(s.reg)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	registerIndexMetrics(s.reg, idx, s.mut, s.quality)
 	return s
+}
+
+// handleQuality serves the shadow-sampling quality snapshot: recall /
+// rank-displacement / score-error estimators, per-shard and
+// since-compaction breakdowns, and the hot-query sketch.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.quality.Snapshot())
+}
+
+// handleSLO serves the multi-window SLO burn-rate snapshot.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
 }
 
 // Handler returns the server's HTTP handler (for tests and embedding),
@@ -247,10 +299,17 @@ func (s *Server) Stats() StatsSnapshot {
 	return snap
 }
 
-// Close stops the micro-batcher, failing queries still queued.
+// Close stops the micro-batcher (failing queries still queued), the
+// SLO snapshot ticker, and the shadow quality workers.
 func (s *Server) Close() {
 	if s.batcher != nil {
 		s.batcher.close()
+	}
+	if s.slo != nil {
+		s.slo.Close()
+	}
+	if s.quality != nil {
+		s.quality.Close()
 	}
 }
 
@@ -263,6 +322,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // batchSizeHeader carries the query count of a request so the
 // access-log middleware can log it without re-parsing the body.
 const batchSizeHeader = "X-Resinfer-Batch"
+
+// traceIDHeader echoes a traced request's ID back to the client; the
+// access-log middleware reads it from the response headers the same way
+// it reads the batch size, and slowlog entries carry the same ID, so
+// one request's three records join on it.
+const traceIDHeader = "X-Resinfer-Trace-Id"
+
+// nextTraceID allocates a process-unique request trace ID.
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%08x", s.traceSeq.Add(1))
+}
 
 // statusWriter captures the status code written by a handler.
 type statusWriter struct {
@@ -287,9 +357,13 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 		if batch == "" {
 			batch = "0"
 		}
-		s.access.Printf("ts=%s method=%s path=%s status=%d dur_ms=%.3f batch=%s remote=%s",
+		traceID := ""
+		if tid := sw.Header().Get(traceIDHeader); tid != "" {
+			traceID = " trace_id=" + tid
+		}
+		s.access.Printf("ts=%s method=%s path=%s status=%d dur_ms=%.3f batch=%s remote=%s%s",
 			start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path, sw.status,
-			float64(time.Since(start))/float64(time.Millisecond), batch, r.RemoteAddr)
+			float64(time.Since(start))/float64(time.Millisecond), batch, r.RemoteAddr, traceID)
 	})
 }
 
@@ -469,10 +543,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// reset in place, so steady-state tracing does not allocate.
 	wantTrace := req.Trace || r.Header.Get("X-Resinfer-Trace") == "1"
 	var tr *obs.Trace
+	var traceID string
 	if wantTrace || s.slowlog != nil {
 		tr = getTrace(start)
 		defer putTrace(tr)
 		tr.End("decode", start)
+	}
+	if wantTrace {
+		// A client-visible trace gets an ID echoed in the response
+		// header, the access log, and any slowlog entry, so the three
+		// records of one request can be joined. Allocated only on traced
+		// requests — the plain path never formats it.
+		traceID = s.nextTraceID()
+		w.Header().Set(traceIDHeader, traceID)
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -526,6 +609,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Inc()
 	s.metrics.comparisons.Add(res.stats.Comparisons)
 	s.metrics.pruned.Add(res.stats.Pruned)
+	// Shadow quality sampling: one atomic on the common path; a sampled
+	// query is copied into a pooled job and replayed off-path as an
+	// exact scan (nil tracker = disabled, no-op).
+	s.quality.MaybeSample(req.Query, res.neighbors, key.k)
 
 	resp := searchResponse{
 		Neighbors: toNeighborsJSON(res.neighbors),
@@ -544,7 +631,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			resp.Trace = toTraceJSON(snap)
 		}
 		if s.slowlog != nil && snap.Total >= s.slowlog.threshold {
-			s.slowlog.record("/search", string(key.mode), key.k, key.budget, len(req.Query), snap)
+			s.slowlog.record(start, traceID, "/search", string(key.mode), key.k, key.budget, len(req.Query), snap)
 		}
 	}
 	s.metrics.latency.ObserveDuration(time.Since(start))
@@ -600,6 +687,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			s.metrics.queries.Inc()
 			s.metrics.comparisons.Add(res.Stats.Comparisons)
 			s.metrics.pruned.Add(res.Stats.Pruned)
+			s.quality.MaybeSample(req.Queries[i], res.Neighbors, key.k)
 		}
 		out.Results[i] = entry
 	}

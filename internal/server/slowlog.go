@@ -17,6 +17,7 @@ const slowLogCapacity = 128
 // additionally keeps the per-shard breakdown.
 type slowEntry struct {
 	Time       time.Time        `json:"time"`
+	TraceID    string           `json:"trace_id,omitempty"`
 	Path       string           `json:"path"`
 	Mode       string           `json:"mode"`
 	K          int              `json:"k"`
@@ -48,11 +49,15 @@ func newSlowLog(threshold time.Duration) *slowLog {
 
 // record stores one slow request. The ring keeps per-stage timings;
 // the full per-shard breakdown is retained only for the worst offender
-// seen so far, where it matters for diagnosis.
-func (sl *slowLog) record(path, mode string, k, budget, dim int, snap obs.Snapshot) {
+// seen so far, where it matters for diagnosis. t0 is the request's
+// arrival time and traceID its ID when the request was traced (empty
+// otherwise), so slow entries line up with access-log lines and
+// client-side traces.
+func (sl *slowLog) record(t0 time.Time, traceID, path, mode string, k, budget, dim int, snap obs.Snapshot) {
 	tj := toTraceJSON(snap)
 	e := slowEntry{
-		Time:       time.Now(),
+		Time:       t0,
+		TraceID:    traceID,
 		Path:       path,
 		Mode:       mode,
 		K:          k,

@@ -66,6 +66,18 @@ type (
 		SyncWAL() error
 		Checkpoint() error
 	}
+	// groundTruther exposes the exact, mutation-aware brute-force scan
+	// the shadow quality sampler replays sampled queries against.
+	// *resinfer.ShardedIndex and *resinfer.MutableIndex satisfy it.
+	groundTruther interface {
+		GroundTruthSearch(dst []resinfer.Neighbor, shards []int, q []float32, k int) ([]resinfer.Neighbor, []int, int, error)
+		NumShards() int
+	}
+	// walPolicied reports the attached WAL's fsync policy for the
+	// build-info metric. *resinfer.MutableIndex satisfies it.
+	walPolicied interface {
+		WALSyncPolicy() string
+	}
 )
 
 // tracePool recycles obs.Trace recorders across requests; ResetAt keeps

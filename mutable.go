@@ -584,6 +584,22 @@ func (mx *MutableIndex) Modes() []Mode { return mx.sx.Modes() }
 // Score converts a returned Neighbor into the metric's native score.
 func (mx *MutableIndex) Score(n Neighbor, q []float32) float32 { return mx.sx.Score(n, q) }
 
+// GroundTruthSearch runs an exact, mutation-aware brute-force top-k
+// scan; see ShardedIndex.GroundTruthSearch.
+func (mx *MutableIndex) GroundTruthSearch(dst []Neighbor, shards []int, q []float32, k int) ([]Neighbor, []int, int, error) {
+	return mx.sx.GroundTruthSearch(dst, shards, q, k)
+}
+
+// WALSyncPolicy describes the attached WAL's fsync policy ("none" when
+// the index runs without a WAL) — a build/deploy property surfaced by
+// the server's build-info metric.
+func (mx *MutableIndex) WALSyncPolicy() string {
+	if mx.sx.mut == nil || mx.sx.mut.wal == nil {
+		return "none"
+	}
+	return mx.cfg.WALSync.String()
+}
+
 // Save serializes the mutable index — the sharded payload plus every
 // shard's memtable and tombstone segments and the ID allocator — so a
 // mid-compaction state (memtable non-empty, tombstones pending)

@@ -41,6 +41,10 @@ import (
 	"resinfer/internal/vec"
 )
 
+// Version identifies the library release; it is exported in the
+// server's build-info metric and /stats document.
+const Version = "0.8.0"
+
 // Mode selects a distance computation method.
 type Mode string
 

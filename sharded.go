@@ -66,6 +66,7 @@ type ShardedIndex struct {
 	userDim  int
 	workers  int // shard fan-out width for single-query Search
 	fanPool  sync.Pool
+	gtPool   sync.Pool // gtScratch for GroundTruthSearch (groundtruth.go)
 
 	// mut holds the streaming-ingestion state (per-shard memtables,
 	// tombstones, the ID allocator). nil on an immutable index, in which
@@ -120,6 +121,9 @@ func (sx *ShardedIndex) initFanPool() {
 	n := len(sx.shards)
 	sx.fanPool.New = func() any {
 		return &fanScratch{outs: make([]shardOut, n), rq: heap.NewResultQueue(16)}
+	}
+	sx.gtPool.New = func() any {
+		return &gtScratch{rq: heap.NewResultQueue(16), shardOf: make(map[int]int, 32)}
 	}
 }
 
