@@ -31,11 +31,15 @@ type gtScratch struct {
 // rows compared. Each shard's segment lock is held for that shard's
 // scan, so per-shard visibility is consistent with a concurrent search;
 // shards are scanned sequentially, off the request path.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) GroundTruthSearch(dst []Neighbor, shards []int, q []float32, k int) ([]Neighbor, []int, int, error) {
 	if len(q) != sx.userDim {
+		//resinfer:alloc-ok cold invalid-argument path
 		return dst, shards, 0, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
 	}
 	if k <= 0 {
+		//resinfer:alloc-ok cold invalid-argument path
 		return dst, shards, 0, fmt.Errorf("resinfer: k must be positive, got %d", k)
 	}
 	gs := sx.gtPool.Get().(*gtScratch)
@@ -53,10 +57,11 @@ func (sx *ShardedIndex) GroundTruthSearch(dst []Neighbor, shards []int, q []floa
 	qScan := q
 	if sx.metric == Cosine {
 		if len(gs.qbuf) != sx.userDim {
-			gs.qbuf = make([]float32, sx.userDim)
+			gs.qbuf = make([]float32, sx.userDim) //resinfer:alloc-ok lazy one-time scratch growth
 		}
 		var err error
-		qScan, err = (&metricState{kind: Cosine}).transformInto(gs.qbuf, q)
+		ms := metricState{kind: Cosine}
+		qScan, err = ms.transformInto(gs.qbuf, q)
 		if err != nil {
 			return dst, shards, 0, err
 		}

@@ -30,32 +30,6 @@ import (
 	"time"
 )
 
-// Site names one injection point. The constants below are the sites the
-// serving stack consults; tests may invent ad-hoc sites of their own.
-type Site string
-
-// Injection sites wired into the serving stack.
-const (
-	// SiteWALAppend fires before a WAL record is serialized and written;
-	// an injected error is returned as a (transient, retryable) append
-	// failure with nothing written.
-	SiteWALAppend Site = "wal.append"
-	// SiteWALFsync fires in place of the fsync on the WAL append and
-	// checkpoint paths; an injected error is a sync failure (fail-stop
-	// until Recover), an injected delay models a slow disk.
-	SiteWALFsync Site = "wal.fsync"
-	// SiteShardSearch fires at the start of every per-shard probe of the
-	// sharded fan-out; its argument is the shard number. Delay models a
-	// stuck shard, error a failed one, panic a crashing one.
-	SiteShardSearch Site = "shard.search"
-	// SiteCompactBuild fires before a compaction rebuilds a shard's base
-	// index; its argument is the shard number.
-	SiteCompactBuild Site = "compact.build"
-	// SiteCompactSwap fires before a compaction hot-swaps the rebuilt
-	// base in; its argument is the shard number.
-	SiteCompactSwap Site = "compact.swap"
-)
-
 // AnyArg matches every site argument.
 const AnyArg = -1
 
@@ -223,7 +197,10 @@ func CheckArg(site Site, arg int) error {
 //
 // with fields err (message), delay (duration), panic (message), p
 // (probability), arg, after, limit, and seed (reseeds the RNG; site
-// part ignored). An empty spec arms nothing.
+// part ignored). The site must be one of the registered sites in
+// sites.go — an unknown site is a parse error naming the known sites,
+// so a typo fails at flag-parse time instead of arming a site nothing
+// consults. An empty spec arms nothing.
 func ParseSpec(spec string) error {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -239,6 +216,9 @@ func ParseSpec(spec string) error {
 			return fmt.Errorf("fault: spec entry %q lacks a ':'", entry)
 		}
 		inj := Injection{Site: Site(strings.TrimSpace(site)), Arg: AnyArg}
+		if !KnownSite(inj.Site) {
+			return fmt.Errorf("fault: unknown site %q (known sites: %s)", inj.Site, siteList())
+		}
 		for _, kv := range strings.Split(rest, ",") {
 			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 			if !ok {

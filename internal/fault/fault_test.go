@@ -162,6 +162,7 @@ func TestParseSpecRejectsMalformed(t *testing.T) {
 		"wal.fsync:wat=1",
 		"wal.fsync:p=0.5",       // injects nothing
 		"wal.fsync:delay=bogus", // bad duration
+		"wal.fzync:delay=1ms",   // unknown site (typo)
 	} {
 		if err := ParseSpec(spec); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", spec)
@@ -170,5 +171,19 @@ func TestParseSpecRejectsMalformed(t *testing.T) {
 	}
 	if err := ParseSpec(""); err != nil {
 		t.Fatalf("empty spec rejected: %v", err)
+	}
+}
+
+func TestParseSpecUnknownSiteListsKnown(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ParseSpec("wal.fzync:delay=1ms")
+	if err == nil {
+		t.Fatal("typoed site accepted")
+	}
+	for _, site := range Sites() {
+		if !strings.Contains(err.Error(), string(site)) {
+			t.Errorf("error %q does not list known site %q", err, site)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -204,7 +205,7 @@ func serveLoopback(srv *server.Server) (base string, shutdown func() error, err 
 	case addr := <-ready:
 		shutdown = func() error {
 			cancel()
-			if err := <-serveErr; err != nil && err != http.ErrServerClosed && err != context.Canceled {
+			if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, context.Canceled) {
 				return err
 			}
 			return nil

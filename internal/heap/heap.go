@@ -47,7 +47,10 @@ func (q *ResultQueue) Threshold() float32 {
 }
 
 // Push offers (id, dist) to the queue. It reports whether the item was
-// admitted.
+// admitted. The backing array is allocated once at NewResultQueue and
+// only ever re-sliced here, so steady-state pushes are allocation-free.
+//
+//resinfer:noalloc
 func (q *ResultQueue) Push(id int, dist float32) bool {
 	if len(q.items) < q.k {
 		q.items = append(q.items, Item{ID: id, Dist: dist})
@@ -64,6 +67,8 @@ func (q *ResultQueue) Push(id int, dist float32) bool {
 
 // PopMax removes and returns the current worst (largest-distance) item.
 // ok is false when the queue is empty.
+//
+//resinfer:noalloc
 func (q *ResultQueue) PopMax() (Item, bool) {
 	if len(q.items) == 0 {
 		return Item{}, false

@@ -7,6 +7,7 @@ import (
 
 	"resinfer"
 	"resinfer/internal/quality"
+	"resinfer/internal/raceguard"
 )
 
 // allocSetup builds the guard's fixture: a sharded index with the
@@ -45,7 +46,7 @@ func TestShadowSampledSearchZeroAlloc(t *testing.T) {
 	if testing.CoverMode() != "" {
 		t.Skip("coverage instrumentation allocates")
 	}
-	if raceEnabled {
+	if raceguard.Enabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
 	sx, tr, q := allocSetup(t)

@@ -164,6 +164,8 @@ func (t *Tracker) SampleRate() int { return t.cfg.SampleRate }
 // copies the query and served answer into a pooled job and hands it to
 // the worker queue, dropping (never blocking) when the queue is full.
 // Safe for concurrent use; a nil tracker is a no-op.
+//
+//resinfer:noalloc
 func (t *Tracker) MaybeSample(q []float32, served []resinfer.Neighbor, k int) {
 	if t == nil {
 		return

@@ -1,0 +1,10 @@
+// Package raceguard exposes whether the race detector is compiled into
+// the current binary. Race instrumentation allocates, so strict
+// allocs-per-op guard tests (the 0-alloc search-path contracts) consult
+// raceguard.Enabled and skip under -race instead of reporting phantom
+// allocations.
+//
+// This is the single home for the build-tag pair; test packages import
+// it instead of each carrying their own race_enabled/race_disabled file
+// duo.
+package raceguard

@@ -146,6 +146,8 @@ func (m *Memtable) CompactAfter(seq uint64) *Memtable {
 // distance; with ip true it is the negated inner product, matching the
 // key-space the sharded merge ranks inner-product results in. It returns
 // the number of comparisons performed (the row count).
+//
+//resinfer:noalloc
 func (m *Memtable) Scan(q []float32, ip bool, rq *heap.ResultQueue) int {
 	for i := range m.ids {
 		base := i * m.dim

@@ -198,14 +198,16 @@ func (sx *ShardedIndex) scanRow(v []float32) ([]float32, error) {
 
 // scanQuery maps a caller query into the same scan space, reusing the
 // fan scratch buffer for the Cosine normalization.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) scanQuery(fs *fanScratch, q []float32) ([]float32, error) {
 	if sx.metric != Cosine {
 		return q, nil
 	}
 	if len(fs.qbuf) != sx.userDim {
-		fs.qbuf = make([]float32, sx.userDim)
+		fs.qbuf = make([]float32, sx.userDim) //resinfer:alloc-ok lazy one-time scratch growth
 	}
-	st := &metricState{kind: Cosine}
+	st := metricState{kind: Cosine}
 	return st.transformInto(fs.qbuf, q)
 }
 
@@ -343,6 +345,8 @@ func (sx *ShardedIndex) Delete(id int) (bool, error) {
 // bounded queue. The shard read lock is held for the whole probe so a
 // concurrent hot swap can never tear the (base, globalID, segments)
 // triple.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) searchShardMut(s int, out *shardOut, q, qScan []float32, k int, mode Mode, budget int) {
 	seg := sx.mut.segs[s]
 	seg.mu.RLock()

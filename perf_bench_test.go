@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"resinfer"
+	"resinfer/internal/raceguard"
 )
 
 var (
@@ -207,7 +208,7 @@ func TestSearchIntoShardedMetricsOnZeroAlloc(t *testing.T) {
 	if testing.CoverMode() != "" {
 		t.Skip("coverage instrumentation allocates")
 	}
-	if raceEnabled {
+	if raceguard.Enabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
 	sx, _ := shardedObsSetup(t)

@@ -428,8 +428,11 @@ func (ix *Index) SearchWithStats(q []float32, k int, mode Mode, budget int) ([]N
 // that reuses dst across queries (dst = res[:0]) keeps the steady-state
 // search path free of allocations: the evaluator, its scratch tables and
 // the index's traversal state all come from pools.
+//
+//resinfer:noalloc
 func (ix *Index) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
 	if len(q) != ix.userDim {
+		//resinfer:alloc-ok cold invalid-argument path
 		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), ix.userDim)
 	}
 	s, pool, err := ix.acquire(mode)
@@ -442,6 +445,8 @@ func (ix *Index) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budge
 }
 
 // searchSession runs one query through an already-acquired session.
+//
+//resinfer:noalloc
 func (ix *Index) searchSession(s *session, dst []Neighbor, q []float32, k, budget int) ([]Neighbor, SearchStats, error) {
 	tq, err := ix.metric.transformInto(s.qbuf, q)
 	if err != nil {
@@ -460,6 +465,7 @@ func (ix *Index) searchSession(s *session, dst []Neighbor, q []float32, k, budge
 	case Flat:
 		s.items, err = ix.flatIdx.SearchEval(s.ev, k, size, s.items)
 	default:
+		//resinfer:alloc-ok unreachable-by-construction kind guard
 		err = fmt.Errorf("resinfer: unknown index kind %q", ix.kind)
 	}
 	if err != nil {

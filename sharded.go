@@ -329,6 +329,8 @@ func (sx *ShardedIndex) SearchWithStatsCtx(ctx context.Context, q []float32, k i
 
 // SearchInto is SearchWithStats appending the hits to dst; with a reused
 // dst the whole fan-out runs without allocations at steady state.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode, budget int) ([]Neighbor, SearchStats, error) {
 	return sx.searchFan(nil, dst, q, k, mode, budget, sx.workers, nil)
 }
@@ -345,8 +347,11 @@ var errFanAbandoned = errors.New("resinfer: every shard abandoned at deadline")
 // path: one goroutine per shard, stragglers abandoned when ctx expires,
 // failed or abandoned shards skipped by the merge and counted in
 // SearchStats.ShardsFailed.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) searchFan(ctx context.Context, dst []Neighbor, q []float32, k int, mode Mode, budget, workers int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
 	if len(q) != sx.userDim {
+		//resinfer:alloc-ok cold invalid-argument path
 		return dst, SearchStats{}, fmt.Errorf("resinfer: query dim %d, index expects %d", len(q), sx.userDim)
 	}
 	fs := sx.fanPool.Get().(*fanScratch)
@@ -390,7 +395,7 @@ func (sx *ShardedIndex) searchFan(ctx context.Context, dst []Neighbor, q []float
 		mergeStart = time.Now()
 	}
 	dst, st, err := sx.merge(dst, fs, q, k, ctx != nil)
-	if err == errFanAbandoned {
+	if errors.Is(err, errFanAbandoned) {
 		if ce := ctx.Err(); ce != nil {
 			err = ce
 		}
@@ -479,10 +484,13 @@ func (sx *ShardedIndex) fanDeadline(ctx context.Context, outs []shardOut, q, qSc
 // injected fault) is isolated here into a per-shard error rather than
 // killing the process; the recover costs an open-coded defer, keeping
 // the steady-state path allocation-free.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) searchShardObs(s int, outs []shardOut, q, qScan []float32, k int, mode Mode, budget int, tr *obs.Trace) {
 	defer func() {
 		if r := recover(); r != nil {
 			outs[s].ns = outs[s].ns[:0]
+			//resinfer:alloc-ok panic recovery is off the steady-state path
 			outs[s].err = fmt.Errorf("resinfer: shard %d panicked: %v", s, r)
 		}
 	}()
@@ -529,6 +537,8 @@ func (sx *ShardedIndex) searchShardObs(s int, outs []shardOut, q, qScan []float3
 // is skipped and counted in ShardsFailed instead of failing the query;
 // the merge errors only when no shard contributed — with the first
 // shard error, or errFanAbandoned when every probe was preempted.
+//
+//resinfer:noalloc
 func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int, partial bool) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	var scanWeighted float64
@@ -538,7 +548,7 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 	mutable := sx.mut != nil
 	if mutable {
 		if fs.seen == nil {
-			fs.seen = make(map[int]struct{}, 4*k)
+			fs.seen = make(map[int]struct{}, 4*k) //resinfer:alloc-ok lazy once-per-scratch dedup map
 		} else {
 			clear(fs.seen)
 		}
@@ -554,11 +564,13 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 			if fs.outs[s].err != nil {
 				agg.ShardsFailed++
 				if firstErr == nil {
+					//resinfer:alloc-ok cold shard-failure path
 					firstErr = fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
 				}
 				continue
 			}
 		} else if fs.outs[s].err != nil {
+			//resinfer:alloc-ok cold shard-failure path
 			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
 		}
 		agg.ShardsOK++

@@ -1,0 +1,11 @@
+module resinfer/tools/resinferlint
+
+go 1.22
+
+// This module is intentionally dependency-free. The analyzer framework
+// under internal/analysis mirrors the golang.org/x/tools/go/analysis
+// API surface (Analyzer, Pass, Diagnostic, analysistest-style golden
+// tests) but is implemented on the standard library only, because the
+// build environment has no module proxy access. If x/tools becomes
+// available, the analyzers port over mechanically: the signatures are
+// deliberately identical.

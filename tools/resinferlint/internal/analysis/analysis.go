@@ -1,0 +1,58 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis API surface used by resinferlint.
+//
+// The build environment for this repository has no module proxy, so
+// x/tools cannot be fetched; rather than vendoring thousands of lines,
+// this package provides the three types the analyzers actually need —
+// Analyzer, Pass, and Diagnostic — with the same field names and
+// semantics as the upstream package. Porting an analyzer to the real
+// x/tools framework is a matter of changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a name, a doc string, and a
+// Run function invoked once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Reportf and returns an error only for internal failures
+	// (a finding is not an error).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides the analyzer's view of one package: syntax, type
+// information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report is installed by the driver; analyzers call Reportf.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over a fixture module and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained module rooted at dir (it has its own
+// go.mod, so `go list` never reaches the network). Expectations are
+// written as trailing comments on the line where the diagnostic is
+// expected:
+//
+//	mu.Lock() // want `shardSeg\.mu acquired while holding`
+//	x := y    // want "copies lock" "second expectation"
+//
+// Every want must be matched by a diagnostic on its line, and every
+// diagnostic must match a want; anything else fails the test.
+package analysistest
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/checker"
+	"resinfer/tools/resinferlint/internal/load"
+)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// Run loads the fixture module at dir and applies a, matching
+// diagnostics against // want comments. Patterns default to ./...
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Fixtures are standalone modules; disable any enclosing go.work.
+	env := append(os.Environ(), "GOWORK=off")
+	pkgs, err := load.Load(load.Config{Dir: dir, Env: env}, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", dir, terr)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, re := range parseWants(t, pos.String(), c.Text) {
+						wants = append(wants, &want{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							text: re.String(),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := checker.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// parseWants extracts the quoted or backquoted regexps from a
+// want comment (// want "a", with backquoted patterns also accepted).
+// Returns nil for ordinary comments.
+func parseWants(t *testing.T, at, text string) []*regexp.Regexp {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	rest := strings.TrimSuffix(strings.TrimSpace(m[1]), "*/")
+	var res []*regexp.Regexp
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				t.Fatalf("%s: unterminated want string: %s", at, rest)
+			}
+			var err error
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", at, rest[:end+1], err)
+			}
+			rest = rest[end+1:]
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want raw string: %s", at, rest)
+			}
+			lit = rest[1 : 1+end]
+			rest = rest[end+2:]
+		default:
+			t.Fatalf("%s: malformed want comment near %q", at, rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", at, lit, err)
+		}
+		res = append(res, re)
+	}
+	if res == nil {
+		t.Fatalf("%s: want comment with no expectations", at)
+	}
+	return res
+}

@@ -1,0 +1,227 @@
+// Package atomicfield enforces two memory-model invariants:
+//
+//  1. A struct field passed to sync/atomic (atomic.AddInt64(&x.f, ...))
+//     anywhere in a package must be accessed through sync/atomic
+//     everywhere in that package — a single plain read of such a field
+//     is a data race that -race only catches if the schedule cooperates.
+//  2. Values whose type transitively contains a sync or sync/atomic
+//     type (Mutex, RWMutex, WaitGroup, Once, Pool, atomic.Int64, ...)
+//     must not be copied. This is stricter than vet's copylocks: it
+//     also flags by-value range iteration and lock-bearing function
+//     result types.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "atomic fields stay atomic everywhere; lock-bearing values are never copied",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: collect fields addressed in sync/atomic calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass, sel); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		// Pass 2: plain accesses of atomic fields.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			if fv := fieldOf(pass, sel); fv != nil && atomicFields[fv] {
+				pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access is a data race", fieldLabel(fv))
+			}
+			return true
+		})
+		// Pass 3: lock copies.
+		checkCopies(pass, f)
+	}
+	return nil, nil
+}
+
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+func fieldLabel(v *types.Var) string {
+	return v.Name()
+}
+
+func checkCopies(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if isValueRead(rhs) {
+					if t := exprType(pass, rhs); t != nil && lockBearing(t) {
+						pass.Reportf(rhs.Pos(), "assignment copies lock-bearing value of type %s", typeLabel(t))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if lintutil.IsConversion(pass.TypesInfo, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if !isValueRead(arg) {
+					continue
+				}
+				if t := exprType(pass, arg); t != nil && lockBearing(t) {
+					pass.Reportf(arg.Pos(), "call passes lock-bearing value of type %s; pass a pointer", typeLabel(t))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := exprType(pass, n.Value); t != nil && lockBearing(t) {
+					pass.Reportf(n.Value.Pos(), "range copies lock-bearing value of type %s per iteration; range over indices or pointers", typeLabel(t))
+				}
+			}
+			if n.Key != nil {
+				if t := exprType(pass, n.Key); t != nil && lockBearing(t) {
+					pass.Reportf(n.Key.Pos(), "range copies lock-bearing key of type %s per iteration", typeLabel(t))
+				}
+			}
+		case *ast.FuncDecl:
+			checkResults(pass, n.Type)
+		case *ast.FuncLit:
+			checkResults(pass, n.Type)
+		}
+		return true
+	})
+}
+
+func checkResults(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Results == nil {
+		return
+	}
+	for _, field := range ft.Results.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if lockBearing(tv.Type) {
+			pass.Reportf(field.Type.Pos(), "function returns lock-bearing type %s by value; return a pointer", typeLabel(tv.Type))
+		}
+	}
+}
+
+// isValueRead reports whether e reads an existing value (as opposed to
+// constructing one with a literal or call, which cannot alias a live
+// lock).
+func isValueRead(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+func exprType(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				return obj.Type()
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	return tv.Type
+}
+
+func typeLabel(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// lockBearing reports whether t transitively contains a sync or
+// sync/atomic type. sync.Locker (a plain interface) doesn't count.
+func lockBearing(t types.Type) bool {
+	return lockBearing1(t, map[types.Type]bool{})
+}
+
+func lockBearing1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return obj.Name() != "Locker"
+			}
+		}
+		return lockBearing1(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearing1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockBearing1(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysistest"
+	"resinfer/tools/resinferlint/internal/analyzers/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", atomicfield.Analyzer)
+}

@@ -1,0 +1,75 @@
+package atomfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes atomic and plain access to the same field — the race
+// class the analyzer exists for.
+type counter struct {
+	n    int64
+	last int64
+}
+
+func (c *counter) Incr() int64 { return atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) Read() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) Reset() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) ReadLast() int64 {
+	return c.last // plain field, never touched atomically: fine
+}
+
+func (c *counter) LoadOK() int64 { return atomic.LoadInt64(&c.n) }
+
+// guarded is the copylocks half: any copy of a mutex-bearing value is
+// a defect.
+type guarded struct {
+	mu  sync.Mutex
+	val int
+}
+
+type stats struct {
+	served atomic.Int64
+}
+
+func copyAssign(g *guarded) int {
+	h := *g // want `assignment copies lock-bearing value of type atomfix.guarded`
+	h.val++
+	return h.val
+}
+
+func copyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies lock-bearing value of type atomfix.guarded per iteration`
+		total += g.val
+	}
+	return total
+}
+
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].val
+	}
+	return total
+}
+
+func take(g guarded) int { return g.val }
+
+func callByValue(g *guarded) int {
+	return take(*g) // want `call passes lock-bearing value of type atomfix.guarded; pass a pointer`
+}
+
+// want-on-decl: the result type itself is the defect, stricter than vet.
+func snapshot(s *stats) stats { // want `function returns lock-bearing type atomfix.stats by value`
+	return *s
+}
+
+func snapshotPtr(s *stats) *stats { return s }

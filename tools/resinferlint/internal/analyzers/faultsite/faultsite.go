@@ -1,0 +1,90 @@
+// Package faultsite ensures every fault.Check / fault.CheckArg call
+// names its injection site with a constant declared in the central
+// registry (internal/fault's Site constants).
+//
+// Fault specs are matched by string equality at runtime: a misspelled
+// site in a Check call (or a site invented inline at a call site)
+// silently never fires, which defeats the point of fault-injection
+// coverage. Forcing every call through the registry means ParseSpec
+// can validate -faults specs against the same list at flag-parse time.
+package faultsite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsite",
+	Doc:  "fault.Check sites must be constants from the internal/fault site registry",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The registry package's own plumbing (Check forwarding its site
+	// parameter to CheckArg) is exempt; the invariant is about call
+	// sites in product code.
+	if lintutil.PkgMatches(pass.Pkg, "internal/fault") || (pass.Pkg != nil && pass.Pkg.Name() == "fault") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Name() != "Check" && fn.Name() != "CheckArg" {
+				return true
+			}
+			if !lintutil.PkgMatches(fn.Pkg(), "internal/fault") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			checkSiteArg(pass, fn.Pkg(), call.Args[0])
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSiteArg(pass *analysis.Pass, faultPkg *types.Package, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.BasicLit:
+		pass.Reportf(arg.Pos(), "fault site is a string literal; use a Site constant from the internal/fault registry")
+		return
+	case *ast.CallExpr:
+		pass.Reportf(arg.Pos(), "fault site constructed inline; use a Site constant from the internal/fault registry")
+		return
+	default:
+		pass.Reportf(arg.Pos(), "fault site must be a Site constant from the internal/fault registry")
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok {
+		pass.Reportf(arg.Pos(), "fault site %s is not a constant; use a Site constant from the internal/fault registry", id.Name)
+		return
+	}
+	if c.Pkg() != faultPkg {
+		pass.Reportf(arg.Pos(), "fault site %s is declared outside the internal/fault registry; add it to the registry instead", id.Name)
+		return
+	}
+	if named := lintutil.NamedOf(c.Type()); named == nil || named.Obj().Name() != "Site" {
+		pass.Reportf(arg.Pos(), "fault site %s is not of type fault.Site; use a registry constant", id.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysistest"
+	"resinfer/tools/resinferlint/internal/analyzers/faultsite"
+)
+
+func TestFaultsite(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", faultsite.Analyzer)
+}

@@ -1,0 +1,31 @@
+package faultfix
+
+import "faultfix/internal/fault"
+
+// localSite reproduces the pre-registry defect class: a site name
+// minted outside internal/fault that no -faults spec validation knows
+// about.
+const localSite fault.Site = "compact.local"
+
+func registryConstant(s int) error {
+	if err := fault.CheckArg(fault.SiteShardSearch, s); err != nil {
+		return err
+	}
+	return fault.Check(fault.SiteWALAppend)
+}
+
+func stringLiteral() error {
+	return fault.Check("wal.append") // want `fault site is a string literal; use a Site constant`
+}
+
+func inlineConversion() error {
+	return fault.Check(fault.Site("wal.fsync")) // want `fault site constructed inline`
+}
+
+func outsideRegistry() error {
+	return fault.Check(localSite) // want `fault site localSite is declared outside the internal/fault registry`
+}
+
+func nonConstant(s fault.Site) error {
+	return fault.CheckArg(s, 3) // want `fault site s is not a constant`
+}

@@ -1,0 +1,3 @@
+module faultfix
+
+go 1.22

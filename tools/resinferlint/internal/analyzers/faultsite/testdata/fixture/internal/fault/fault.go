@@ -1,0 +1,18 @@
+// Package fault mirrors resinfer/internal/fault's registry shape: a
+// Site string type with constants as the central registry.
+package fault
+
+// Site names one fault-injection point.
+type Site string
+
+// The registry.
+const (
+	SiteWALAppend   Site = "wal.append"
+	SiteShardSearch Site = "shard.search"
+)
+
+// Check evaluates a site with no argument filter.
+func Check(site Site) error { return CheckArg(site, -1) }
+
+// CheckArg evaluates a site for one argument.
+func CheckArg(site Site, arg int) error { _, _ = site, arg; return nil }

@@ -1,0 +1,509 @@
+// Package lockorder statically checks resinfer's documented lock
+// hierarchy and finds Unlock-less early returns.
+//
+// # The hierarchy
+//
+// The serving/mutation path has exactly three lock classes, ordered:
+//
+//	mutState.mu   (level 10)  per-index mutation coordinator
+//	wal.Log.mu    (level 15)  WAL internal lock — a leaf: WAL methods
+//	                          take it and release it internally
+//	shardSeg.mu   (level 20)  per-shard segment swap lock
+//
+// A lock may only be acquired while every held lock has a strictly
+// lower level, and nothing may be acquired while the WAL leaf is held.
+// Two rules fall out, matching the prose contract from the WAL PR:
+// "mutState.mu before shardSeg.mu" and "never call into the WAL while
+// holding a segment lock" (a WAL append under seg.mu would stall every
+// reader on that shard for the duration of an fsync).
+//
+// Calls to methods on *wal.Log from outside package wal are modeled as
+// acquire+release of the WAL leaf, so `seg.mu.Lock(); m.wal.Append(...)`
+// is flagged without interprocedural analysis.
+//
+// # Early returns
+//
+// Within a function, a tracked lock acquired on some path must be
+// released on that path — by an explicit Unlock, a deferred Unlock, or
+// a deferred closure that net-releases it — before any return. The
+// checker walks a conservative abstract state through if/else, switch,
+// select, and loops (loop bodies are analyzed once; states merge by
+// intersection), so it finds the "error path returns with mu held"
+// class of bug without false-flagging the usual patterns.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce mutState.mu -> shardSeg.mu ordering, WAL-as-leaf, and no lock-holding returns",
+	Run:  run,
+}
+
+// lockClass identifies one lock in the hierarchy by the named struct
+// type that embeds it and the mutex field's name. pkgName, when
+// non-empty, additionally requires the defining package's name to
+// match (so fixtures can model wal.Log without the full import path).
+type lockClass struct {
+	typeName  string
+	fieldName string
+	pkgName   string
+	level     int
+	leaf      bool
+	label     string
+}
+
+var classes = []lockClass{
+	{typeName: "mutState", fieldName: "mu", level: 10, label: "mutState.mu"},
+	{typeName: "Log", fieldName: "mu", pkgName: "wal", level: 15, leaf: true, label: "wal.Log.mu"},
+	{typeName: "shardSeg", fieldName: "mu", level: 20, label: "shardSeg.mu"},
+}
+
+func classFor(typeName, pkgName, fieldName string) *lockClass {
+	for i := range classes {
+		c := &classes[i]
+		if c.typeName != typeName || c.fieldName != fieldName {
+			continue
+		}
+		if c.pkgName != "" && c.pkgName != pkgName {
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// walClass is the leaf modeled for *wal.Log method calls.
+func walClass() *lockClass {
+	for i := range classes {
+		if classes[i].leaf {
+			return &classes[i]
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			st := newState()
+			w.stmts(fd.Body.List, st)
+			w.checkExit(fd.Body.Rbrace, st, "the end of the function")
+		}
+	}
+	return nil, nil
+}
+
+// held is one acquired lock.
+type held struct {
+	class *lockClass
+	pos   token.Pos
+}
+
+type state struct {
+	held     []held
+	deferred map[string]bool // class labels with a pending deferred release
+
+	// maybe holds class labels acquired on only some of the merged
+	// paths (e.g. `if mut != nil { seg.mu.RLock() }`). A release of a
+	// maybe-held lock is legal — the guarding conditions are usually
+	// correlated — and a maybe-held lock is not reported at returns;
+	// only definitely-held locks are.
+	maybe map[string]bool
+
+	// terminated is set once the path has returned (or panicked):
+	// exits were already checked there, and the state must not leak
+	// into branch merges.
+	terminated bool
+}
+
+func newState() *state {
+	return &state{deferred: map[string]bool{}, maybe: map[string]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := &state{held: append([]held(nil), s.held...), deferred: map[string]bool{}, maybe: map[string]bool{}, terminated: s.terminated}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range s.maybe {
+		c.maybe[k] = v
+	}
+	return c
+}
+
+func (s *state) holding(label string) bool {
+	for _, h := range s.held {
+		if h.class.label == label {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) acquire(c *lockClass, pos token.Pos) {
+	s.held = append(s.held, held{class: c, pos: pos})
+}
+
+func (s *state) release(label string) bool {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].class.label == label {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// merge joins two branch states. A terminated branch (it returned)
+// contributes nothing: the fall-through state is the other branch.
+// Otherwise only locks held on both branches survive (with the union
+// of deferred releases), so a lock released on one arm of an if isn't
+// reported as held after the join.
+func merge(a, b *state) *state {
+	switch {
+	case a.terminated && b.terminated:
+		m := newState()
+		m.terminated = true
+		return m
+	case a.terminated:
+		return b.clone()
+	case b.terminated:
+		return a.clone()
+	}
+	m := newState()
+	for _, h := range a.held {
+		if b.holding(h.class.label) {
+			m.held = append(m.held, h)
+		} else {
+			m.maybe[h.class.label] = true
+		}
+	}
+	for _, h := range b.held {
+		if !a.holding(h.class.label) {
+			m.maybe[h.class.label] = true
+		}
+	}
+	for k := range a.maybe {
+		m.maybe[k] = true
+	}
+	for k := range b.maybe {
+		m.maybe[k] = true
+	}
+	for k := range a.deferred {
+		m.deferred[k] = true
+	}
+	for k := range b.deferred {
+		m.deferred[k] = true
+	}
+	return m
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func (w *walker) stmts(list []ast.Stmt, st *state) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanCalls(s.Cond, st)
+		thenSt := st.clone()
+		w.stmt(s.Body, thenSt)
+		elseSt := st.clone()
+		if s.Else != nil {
+			w.stmt(s.Else, elseSt)
+		}
+		*st = *merge(thenSt, elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanCalls(s.Cond, st)
+		body := st.clone()
+		w.stmt(s.Body, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		// The loop may run zero times; keep the pre-loop state.
+	case *ast.RangeStmt:
+		w.scanCalls(s.X, st)
+		body := st.clone()
+		w.stmt(s.Body, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.branches(s, st)
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanCalls(r, st)
+		}
+		w.checkExit(s.Pos(), st, "this return")
+		st.terminated = true
+	case *ast.ExprStmt:
+		w.scanCalls(s, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				st.terminated = true
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.GoStmt:
+		// The goroutine body runs with its own (empty) lock state.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sub := newState()
+			w.stmts(lit.Body.List, sub)
+			w.checkExit(lit.Body.Rbrace, sub, "the end of the goroutine")
+		}
+		for _, a := range s.Call.Args {
+			w.scanCalls(a, st)
+		}
+	default:
+		w.scanCalls(s, st)
+	}
+}
+
+// branches runs each clause of a switch/select on a clone and merges.
+func (w *walker) branches(s ast.Stmt, st *state) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanCalls(s.Tag, st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if body == nil || len(body.List) == 0 {
+		return
+	}
+	var merged *state
+	hasDefault := false
+	for _, clause := range body.List {
+		cl := st.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanCalls(e, cl)
+			}
+			w.stmts(c.Body, cl)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(c.Comm, cl)
+			}
+			w.stmts(c.Body, cl)
+		}
+		if merged == nil {
+			merged = cl
+		} else {
+			merged = merge(merged, cl)
+		}
+	}
+	if !hasDefault {
+		// Without a default the switch may fall through untouched.
+		merged = merge(merged, st)
+	}
+	*st = *merged
+}
+
+// deferStmt handles `defer x.mu.Unlock()` and deferred closures that
+// net-release locks.
+func (w *walker) deferStmt(s *ast.DeferStmt, st *state) {
+	if c, op := w.classifyLockCall(s.Call); c != nil && (op == "Unlock" || op == "RUnlock") {
+		st.deferred[c.label] = true
+		return
+	}
+	lit, ok := s.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Simulate the closure body: whatever it net-releases counts as a
+	// deferred release (e.g. defer func() { mu.Unlock(); log(...) }()).
+	// Net-acquires (balanced Lock/Unlock inside) are ignored.
+	acquired := map[string]int{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c, op := w.classifyLockCall(call)
+		if c == nil {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			acquired[c.label]++
+		case "Unlock", "RUnlock":
+			acquired[c.label]--
+		}
+		return true
+	})
+	for label, n := range acquired {
+		if n < 0 {
+			st.deferred[label] = true
+		}
+	}
+}
+
+// scanCalls walks any node, interpreting lock/unlock calls and WAL
+// method calls in source order. Function literal bodies are analyzed
+// as independent functions with an empty lock state.
+func (w *walker) scanCalls(n ast.Node, st *state) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sub := newState()
+			w.stmts(n.Body.List, sub)
+			w.checkExit(n.Body.Rbrace, sub, "the end of the function literal")
+			return false
+		case *ast.CallExpr:
+			w.call(n, st)
+		}
+		return true
+	})
+}
+
+func (w *walker) call(call *ast.CallExpr, st *state) {
+	if c, op := w.classifyLockCall(call); c != nil {
+		switch op {
+		case "Lock", "RLock":
+			w.checkAcquire(call.Pos(), c, st)
+			st.acquire(c, call.Pos())
+		case "Unlock", "RUnlock":
+			if !st.release(c.label) {
+				if st.maybe[c.label] {
+					delete(st.maybe, c.label)
+				} else if !st.deferred[c.label] {
+					w.pass.Reportf(call.Pos(), "%s released here but not acquired on this path", c.label)
+				}
+			}
+		}
+		return
+	}
+	// Model wal method calls as touching the WAL leaf lock.
+	if wc := walClass(); wc != nil && w.isWALMethodCall(call) {
+		w.checkAcquire(call.Pos(), wc, st)
+	}
+}
+
+func (w *walker) checkAcquire(pos token.Pos, c *lockClass, st *state) {
+	for _, h := range st.held {
+		switch {
+		case h.class.leaf:
+			w.pass.Reportf(pos, "%s acquired while holding leaf lock %s; nothing may be acquired under the WAL lock", c.label, h.class.label)
+		case h.class.label == c.label:
+			w.pass.Reportf(pos, "%s acquired while already holding %s: self-deadlock or unordered same-class instances", c.label, h.class.label)
+		case h.class.level >= c.level:
+			w.pass.Reportf(pos, "lock order inversion: %s (level %d) acquired while holding %s (level %d); the documented order is mutState.mu -> wal.Log.mu / shardSeg.mu", c.label, c.level, h.class.label, h.class.level)
+		}
+	}
+}
+
+func (w *walker) checkExit(pos token.Pos, st *state, where string) {
+	if st.terminated {
+		return
+	}
+	for _, h := range st.held {
+		if st.deferred[h.class.label] {
+			continue
+		}
+		w.pass.Reportf(pos, "%s may still be held at %s (acquired at %s)", h.class.label, where, w.pass.Fset.Position(h.pos))
+	}
+}
+
+// classifyLockCall matches x.<field>.Lock/Unlock/RLock/RUnlock where
+// <field> belongs to one of the hierarchy's lock classes, returning
+// the class and the method name.
+func (w *walker) classifyLockCall(call *ast.CallExpr) (*lockClass, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fv, ok := w.pass.TypesInfo.Uses[inner.Sel].(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil, ""
+	}
+	ownerTV, ok := w.pass.TypesInfo.Types[inner.X]
+	if !ok || ownerTV.Type == nil {
+		return nil, ""
+	}
+	named := lintutil.NamedOf(ownerTV.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	return classFor(named.Obj().Name(), named.Obj().Pkg().Name(), inner.Sel.Name), op
+}
+
+// isWALMethodCall reports whether call invokes a method on *wal.Log
+// (the type holding the leaf lock) from outside package wal itself;
+// inside package wal the explicit mu operations are the truth.
+func (w *walker) isWALMethodCall(call *ast.CallExpr) bool {
+	wc := walClass()
+	fn := lintutil.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Name() == wc.pkgName && w.pass.Pkg != nil && w.pass.Pkg.Name() == wc.pkgName {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := lintutil.NamedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == wc.typeName && named.Obj().Pkg().Name() == wc.pkgName
+}

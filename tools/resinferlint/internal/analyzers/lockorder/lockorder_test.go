@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysistest"
+	"resinfer/tools/resinferlint/internal/analyzers/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", lockorder.Analyzer)
+}

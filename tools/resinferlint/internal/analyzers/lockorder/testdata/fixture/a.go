@@ -1,0 +1,141 @@
+package lockfix
+
+import (
+	"errors"
+	"sync"
+
+	"lockfix/internal/wal"
+)
+
+var errBoom = errors.New("boom")
+
+// shardSeg and mutState mirror the real mutation-path types: the
+// analyzer keys on the type and field names.
+type shardSeg struct {
+	mu   sync.RWMutex
+	rows int
+}
+
+type mutState struct {
+	mu   sync.Mutex
+	segs []*shardSeg
+	wal  *wal.Log
+}
+
+// upsertOK follows the documented order: mutState.mu, WAL append
+// (leaf, internally locked), then the segment lock.
+func (m *mutState) upsertOK(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.wal.Append(b); err != nil {
+		return err
+	}
+	seg := m.segs[0]
+	seg.mu.Lock()
+	seg.rows++
+	seg.mu.Unlock()
+	return nil
+}
+
+// walUnderSeg reproduces the forbidden shape the hierarchy exists to
+// prevent: a WAL append (and its fsync) while readers are blocked on
+// the segment lock.
+func (m *mutState) walUnderSeg(b []byte) error {
+	seg := m.segs[0]
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	return m.wal.Append(b) // want `lock order inversion: wal\.Log\.mu`
+}
+
+// segBeforeMut inverts the two mutation locks.
+func (m *mutState) segBeforeMut() {
+	seg := m.segs[0]
+	seg.mu.Lock()
+	m.mu.Lock() // want `lock order inversion: mutState\.mu`
+	m.mu.Unlock()
+	seg.mu.Unlock()
+}
+
+// earlyReturn leaks the coordinator lock on the error path — the
+// missing-Unlock class.
+func (m *mutState) earlyReturn(fail bool) error {
+	m.mu.Lock()
+	if fail {
+		return errBoom // want `mutState\.mu may still be held at this return`
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// leak never unlocks at all.
+func (m *mutState) leak() {
+	m.mu.Lock()
+	m.segs[0].rows++
+} // want `mutState\.mu may still be held at the end of the function`
+
+// double self-deadlocks (or aliases two instances without an order).
+func (m *mutState) double() {
+	m.mu.Lock()
+	m.mu.Lock() // want `mutState\.mu acquired while already holding mutState\.mu`
+	m.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// strayUnlock releases a lock this path never took.
+func (m *mutState) strayUnlock() {
+	m.mu.Unlock() // want `mutState\.mu released here but not acquired on this path`
+}
+
+// correlated is the groundtruth-scan shape: acquire and release behind
+// correlated conditionals. No diagnostic — the maybe-held state keeps
+// this quiet.
+func (m *mutState) correlated(cond bool) {
+	var seg *shardSeg
+	if cond {
+		seg = m.segs[0]
+		seg.mu.RLock()
+	}
+	if seg != nil {
+		seg.mu.RUnlock()
+	}
+}
+
+// deferClosure releases through a deferred closure, the compactor's
+// pattern.
+func (m *mutState) deferClosure() {
+	m.mu.Lock()
+	defer func() {
+		m.segs[0].rows++
+		m.mu.Unlock()
+	}()
+	m.segs[0].rows++
+}
+
+// branchRelease unlocks on both arms; the merge must not report.
+func (m *mutState) branchRelease(cond bool) {
+	m.mu.Lock()
+	if cond {
+		m.mu.Unlock()
+	} else {
+		m.mu.Unlock()
+	}
+}
+
+// spawn runs a goroutine with its own lock discipline.
+func (m *mutState) spawn() {
+	go func() {
+		m.mu.Lock()
+		m.mu.Unlock()
+	}()
+}
+
+// loopBalanced locks and unlocks per iteration, the save/scan shape.
+func (m *mutState) loopBalanced() int {
+	total := 0
+	for _, seg := range m.segs {
+		seg.mu.RLock()
+		total += seg.rows
+		seg.mu.RUnlock()
+	}
+	return total
+}

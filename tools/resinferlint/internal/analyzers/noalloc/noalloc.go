@@ -1,0 +1,438 @@
+// Package noalloc checks functions annotated //resinfer:noalloc for
+// constructs that heap-allocate, keeping the 0 allocs/op steady-state
+// serving contract a static property instead of a benchmark-only one.
+//
+// # Annotation contract
+//
+// A function whose doc comment carries the directive
+//
+//	//resinfer:noalloc
+//
+// promises that, at steady state, executing it performs zero heap
+// allocations. The analyzer flags, inside such functions:
+//
+//   - function literals (closures allocate; the one exception is an
+//     open-coded `defer func() { ... }()` outside any loop, which the
+//     compiler stack-allocates)
+//   - go statements (a goroutine allocates its stack and closure)
+//   - calls into fmt and errors (both allocate on every call)
+//   - make, new, map/slice composite literals, &T{} literals
+//   - string <-> []byte / []rune conversions
+//   - non-constant string concatenation
+//   - passing non-pointer concrete values to interface parameters, and
+//     assigning them to interface variables (boxing allocates)
+//   - append to a slice variable local to the function that was never
+//     given capacity (appending to caller-provided or pooled slices is
+//     amortized-free and allowed)
+//
+// Cold paths inside a hot function — error returns, lazy one-time
+// initialization — are exempted line by line with a trailing or
+// preceding //resinfer:alloc-ok comment. The escape hatch is visible
+// in review and greppable, which is the point: every deliberate
+// allocation in a hot path has a written excuse.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//resinfer:noalloc functions must not contain heap-allocating constructs",
+	Run:  run,
+}
+
+const (
+	directive = "//resinfer:noalloc"
+	escape    = "//resinfer:alloc-ok"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		allowed := escapeLines(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			c := &check{pass: pass, allowed: allowed}
+			c.funcBody(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeLines records the lines carrying an //resinfer:alloc-ok
+// comment. A construct is exempt if the directive sits on its own
+// line or on the line directly above it.
+func escapeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), escape) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+type check struct {
+	pass    *analysis.Pass
+	allowed map[int]bool
+
+	// localSlices maps function-local slice variables declared with
+	// `var x []T` (no capacity) to their declaration; cleared when the
+	// variable is reassigned to anything but its own append.
+	localSlices map[types.Object]bool
+}
+
+func (c *check) exempt(pos token.Pos) bool {
+	line := c.pass.Fset.Position(pos).Line
+	return c.allowed[line] || c.allowed[line-1]
+}
+
+func (c *check) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.exempt(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// funcBody checks one annotated function body.
+func (c *check) funcBody(body *ast.BlockStmt) {
+	c.localSlices = map[types.Object]bool{}
+	c.collectLocalSlices(body)
+
+	var stack []ast.Node
+	inLoop := func() bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			case *ast.FuncLit:
+				// A loop outside an inner closure doesn't make the
+				// closure body "in a loop".
+				return false
+			}
+		}
+		return false
+	}
+	deferredLit := map[*ast.FuncLit]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && !inLoop() {
+				deferredLit[lit] = true
+			}
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement allocates a goroutine and closure; not allowed in a noalloc function")
+		case *ast.FuncLit:
+			if !deferredLit[n] {
+				c.reportf(n.Pos(), "function literal allocates a closure; hoist it or restructure")
+			}
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if tv, ok := c.pass.TypesInfo.Types[lit]; ok && tv.Type != nil {
+						c.reportf(n.Pos(), "&%s literal allocates; use pooled storage", tv.Type)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.BinaryExpr:
+			c.concat(n)
+		case *ast.AssignStmt:
+			c.assignBoxing(n)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// collectLocalSlices finds `var x []T` declarations with no initial
+// value and removes any that are later reassigned (e.g. to a
+// make-with-cap), leaving only truly capacity-less locals.
+func (c *check) collectLocalSlices(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+					c.localSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Reassignment (x = make(...), x = y) gives the variable capacity
+	// the analyzer can't reason about; stop tracking it.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.TypesInfo.Uses[id]
+			if obj == nil || !c.localSlices[obj] {
+				continue
+			}
+			if i < len(as.Rhs) && isSelfAppend(as.Rhs[i], id.Name) {
+				continue
+			}
+			delete(c.localSlices, obj)
+		}
+		return true
+	})
+}
+
+func isSelfAppend(rhs ast.Expr, name string) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && first.Name == name
+}
+
+func (c *check) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+
+	// Type conversions: string <-> []byte/[]rune copy their payload.
+	if lintutil.IsConversion(info, call) && len(call.Args) == 1 {
+		to := info.Types[call.Fun].Type
+		from := info.Types[call.Args[0]].Type
+		if isStringBytesConv(to, from) {
+			c.reportf(call.Pos(), "%s conversion copies its payload to the heap", convLabel(to, from))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.reportf(call.Pos(), "make allocates; pool or preallocate outside the hot path")
+			case "new":
+				c.reportf(call.Pos(), "new(T) allocates; pool or preallocate outside the hot path")
+			case "append":
+				c.appendCall(call)
+			}
+			return
+		}
+	}
+
+	fn := lintutil.CalleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			c.reportf(call.Pos(), "call to %s.%s allocates on every call", fn.Pkg().Name(), fn.Name())
+			return
+		case "errors":
+			// errors.Is/As/Unwrap only walk the chain; the
+			// constructors allocate.
+			switch fn.Name() {
+			case "Is", "As", "Unwrap":
+			default:
+				c.reportf(call.Pos(), "call to %s.%s allocates on every call", fn.Pkg().Name(), fn.Name())
+				return
+			}
+		}
+	}
+
+	// Boxing: a non-pointer concrete argument passed to an interface
+	// parameter allocates.
+	c.callBoxing(call, fn)
+}
+
+func (c *check) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // appending to fields or caller-provided storage: amortized
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj != nil && c.localSlices[obj] {
+		c.reportf(call.Pos(), "append to %s, a function-local slice with no preallocated capacity; reuse pooled storage or preallocate", id.Name)
+	}
+}
+
+func (c *check) callBoxing(call *ast.CallExpr, fn *types.Func) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		c.boxing(arg, "argument")
+	}
+}
+
+func (c *check) assignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.typeOf(lhs)
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		c.boxing(as.Rhs[i], "assignment")
+	}
+}
+
+// typeOf resolves an expression's type, falling back to the object
+// maps for bare identifiers (assignment targets are not recorded in
+// Info.Types).
+func (c *check) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if o := c.pass.TypesInfo.Defs[id]; o != nil {
+			return o.Type()
+		}
+		if o := c.pass.TypesInfo.Uses[id]; o != nil {
+			return o.Type()
+		}
+	}
+	return nil
+}
+
+// boxing flags e if converting it to an interface heap-allocates:
+// non-pointer-shaped, non-constant concrete values do.
+func (c *check) boxing(e ast.Expr, what string) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: boxes without allocating
+	}
+	c.reportf(e.Pos(), "%s converts %s to interface, which allocates; use a pointer or restructure", what, t)
+}
+
+// composite flags map and slice literals; by-value struct and array
+// literals stay on the stack and are fine (&T{} is handled at the
+// enclosing unary expression).
+func (c *check) composite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates")
+	}
+}
+
+func (c *check) concat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[b]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.reportf(b.OpPos, "non-constant string concatenation allocates")
+	}
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	return (isString(to) && isBytesOrRunes(from)) || (isBytesOrRunes(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBytesOrRunes(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func convLabel(to, from types.Type) string {
+	return strings.TrimSpace(from.String() + " -> " + to.String())
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysistest"
+	"resinfer/tools/resinferlint/internal/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", noalloc.Analyzer)
+}

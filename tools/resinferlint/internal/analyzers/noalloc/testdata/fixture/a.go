@@ -1,0 +1,156 @@
+package noallocfix
+
+import (
+	"fmt"
+	"sync"
+)
+
+type index struct {
+	shards []int
+	out    []int
+}
+
+// fanOut reproduces the heap-boxed loop capture that lived in the
+// sharded fan-out until the observability PR fixed it: the goroutine
+// and its closure over s allocate on every query.
+//
+//resinfer:noalloc
+func (ix *index) fanOut() {
+	for s := range ix.shards {
+		go func() { // want `go statement allocates` `function literal allocates a closure`
+			ix.out[s] = s
+		}()
+	}
+}
+
+//resinfer:noalloc
+func describe(k int) string {
+	return fmt.Sprintf("k=%d", k) // want `call to fmt.Sprintf allocates on every call`
+}
+
+//resinfer:noalloc
+func buildSeen(keys []int) bool {
+	seen := make(map[int]bool, len(keys)) // want `make allocates`
+	for _, k := range keys {
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+//resinfer:noalloc
+func lazyInit(ix *index) {
+	if ix.out == nil {
+		ix.out = make([]int, 8) //resinfer:alloc-ok lazy one-time init
+	}
+}
+
+//resinfer:noalloc
+func toString(b []byte) string {
+	return string(b) // want `conversion copies its payload to the heap`
+}
+
+//resinfer:noalloc
+func concat(a, b string) string {
+	return a + b // want `non-constant string concatenation allocates`
+}
+
+//resinfer:noalloc
+func localAppend(n int) int {
+	var tmp []int
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, i) // want `append to tmp, a function-local slice with no preallocated capacity`
+	}
+	return len(tmp)
+}
+
+// paramAppend is the allowed shape: appending into caller-provided
+// (pooled, reused) storage is amortized-free.
+//
+//resinfer:noalloc
+func paramAppend(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// localWithCap is also allowed: the local is re-initialized with
+// capacity before any append (the make itself carries an alloc-ok).
+//
+//resinfer:noalloc
+func localWithCap(n int) int {
+	var tmp []int
+	tmp = make([]int, 0, 16) //resinfer:alloc-ok preallocated once per call for the test
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, i)
+	}
+	return len(tmp)
+}
+
+type sink func(v any)
+
+//resinfer:noalloc
+func boxArg(emit sink, v int) {
+	emit(v) // want `argument converts int to interface, which allocates`
+}
+
+//resinfer:noalloc
+func boxAssign(v [2]float64) (out any) {
+	out = v // want `assignment converts \[2\]float64 to interface, which allocates`
+	return out
+}
+
+//resinfer:noalloc
+func sliceLit() int {
+	xs := []int{1, 2, 3} // want `slice literal allocates`
+	return xs[0]
+}
+
+//resinfer:noalloc
+func mapLit() int {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	return m[1]
+}
+
+type node struct{ v int }
+
+//resinfer:noalloc
+func escapeLit() *node {
+	return &node{v: 1} // want `literal allocates; use pooled storage`
+}
+
+//resinfer:noalloc
+func newNode() *node {
+	return new(node) // want `new\(T\) allocates`
+}
+
+// deferOK is the blessed exception: a single open-coded defer closure
+// outside any loop is stack-allocated by the compiler.
+//
+//resinfer:noalloc
+func deferOK(mu *sync.Mutex, ix *index) {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+	ix.out[0] = 1
+}
+
+// deferInLoop is not: a deferred closure per iteration allocates.
+//
+//resinfer:noalloc
+func deferInLoop(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		defer func() { // want `function literal allocates a closure`
+			_ = mu
+		}()
+	}
+}
+
+// unannotated functions may allocate freely.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}

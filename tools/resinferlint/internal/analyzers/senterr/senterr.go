@@ -1,0 +1,162 @@
+// Package senterr flags sentinel-error misuse: comparing package-level
+// error values with == or != (or switch cases) instead of errors.Is,
+// and fmt.Errorf wraps that include an error operand but no %w verb.
+//
+// Wrapping with %v (or %s) breaks the errors.Is/As chain: callers that
+// correctly use errors.Is(err, ErrDegraded) stop matching as soon as
+// one layer wraps without %w. Comparing with == breaks the moment any
+// layer starts wrapping. Both defects shipped in this repo before the
+// analyzer existed (the fan-out abandon path compared its sentinel
+// with ==), which is exactly the class this pass keeps extinct.
+package senterr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc:  "sentinel errors must be compared with errors.Is and wrapped with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinel returns the package-level error variable e refers to, if any.
+func sentinel(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func checkCompare(pass *analysis.Pass, n *ast.BinaryExpr) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	for _, operand := range []ast.Expr{n.X, n.Y} {
+		if v := sentinel(pass, operand); v != nil {
+			pass.Reportf(n.OpPos, "sentinel error %s compared with %s; use errors.Is", v.Name(), n.Op)
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, n *ast.SwitchStmt) {
+	if n.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[n.Tag]
+	if !ok || !lintutil.IsErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range n.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinel(pass, e); v != nil {
+				pass.Reportf(e.Pos(), "sentinel error %s used as switch case; use switch { case errors.Is(err, %s): }", v.Name(), v.Name())
+			}
+		}
+	}
+}
+
+// checkWrap flags fmt.Errorf calls that format at least one
+// error-typed operand but contain no %w verb at all. A format that
+// wraps one error with %w and reports another with %v is deliberate
+// and passes.
+func checkWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if hasWrapVerb(format) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if types.IsInterface(atv.Type) || !isNilConst(atv) {
+			if lintutil.IsErrorType(atv.Type) {
+				pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; use %%w so errors.Is keeps working")
+				return
+			}
+		}
+	}
+}
+
+func isNilConst(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// hasWrapVerb reports whether format contains a %w verb, skipping %%
+// escapes.
+func hasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Scan past flags, width, precision, and index to the verb.
+		j := i + 1
+		for j < len(format) {
+			c := format[j]
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+				break
+			}
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			return true
+		}
+		i = j
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"resinfer/tools/resinferlint/internal/analysistest"
+	"resinfer/tools/resinferlint/internal/analyzers/senterr"
+)
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", senterr.Analyzer)
+}

@@ -1,0 +1,57 @@
+package sentfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var (
+	ErrAbandoned = errors.New("every shard abandoned at deadline")
+	ErrClosed    = errors.New("wal: closed")
+)
+
+// realDefectClass reproduces the exact comparison that shipped in the
+// fan-out abandon path (sharded.go) before this analyzer existed.
+func realDefectClass(err error) bool {
+	return err == ErrAbandoned // want `sentinel error ErrAbandoned compared with ==; use errors.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrClosed // want `sentinel error ErrClosed compared with !=`
+}
+
+func crossPackage(err error) bool {
+	return err == io.EOF // want `sentinel error EOF compared with ==`
+}
+
+func switchCase(err error) int {
+	switch err {
+	case ErrClosed: // want `sentinel error ErrClosed used as switch case`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("compact shard: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func badWrapStringed(err error) error {
+	return fmt.Errorf("compact shard: %s", err) // want `fmt.Errorf formats an error without %w`
+}
+
+// The good cases: errors.Is, plain %w, and a deliberate mixed wrap
+// (one %w plus a %v for a secondary cause) all pass.
+func goodIs(err error) bool      { return errors.Is(err, ErrAbandoned) }
+func goodWrap(err error) error   { return fmt.Errorf("compact shard: %w", err) }
+func goodMixed(a, b error) error { return fmt.Errorf("%w (cause: %v)", a, b) }
+func goodNil(err error) bool     { return err == nil }
+func goodNonError(k int) error {
+	if k > 0 {
+		return fmt.Errorf("k too large: %d", k)
+	}
+	return nil
+}

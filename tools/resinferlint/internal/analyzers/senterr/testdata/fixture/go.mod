@@ -1,0 +1,3 @@
+module sentfix
+
+go 1.22

@@ -1,0 +1,65 @@
+// Package checker runs analyzers over loaded packages and collects
+// ordered diagnostics, mirroring the x/tools multichecker driver.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"resinfer/tools/resinferlint/internal/analysis"
+	"resinfer/tools/resinferlint/internal/load"
+)
+
+// Diagnostic is a positioned finding attributed to an analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns diagnostics
+// sorted by file, line, column, then analyzer name.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,68 @@
+// Package lintutil holds small type/AST helpers shared by the
+// resinferlint analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc returns the statically-resolved function or method called
+// by call, or nil for builtins, conversions, and dynamic calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsConversion reports whether call is a type conversion T(x).
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// Deref returns the pointee type if t is a pointer, else t.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf unwraps aliases and pointers to reach a named type.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(Deref(t))
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// PkgMatches reports whether pkg's import path equals path or ends in
+// "/"+path — so "internal/fault" matches both "resinfer/internal/fault"
+// and a fixture module's "lintfixture/internal/fault".
+func PkgMatches(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// IsErrorType reports whether t is the error interface or a type that
+// implements it (by value or by pointer).
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

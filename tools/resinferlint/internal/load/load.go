@@ -1,0 +1,198 @@
+// Package load type-checks Go packages without golang.org/x/tools.
+//
+// Strategy: `go list -export -deps -json` enumerates the target
+// packages and every dependency, and — crucially — emits a compiled
+// export-data file for each dependency. Target packages are then
+// parsed from source and type-checked with go/types, resolving imports
+// through importer.ForCompiler's lookup hook against those export
+// files. This works fully offline, and it respects build tags and
+// GOOS/GOARCH because `go list` inherits the environment and -tags.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+
+	// TypeErrors holds any type-check errors. Analyzers still run on
+	// packages with errors (best effort), but the driver reports them.
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Config parameterizes a Load call.
+type Config struct {
+	// Dir is the working directory for the `go` invocations
+	// (typically the module root). Empty means the process cwd.
+	Dir string
+	// BuildTags is passed through as -tags.
+	BuildTags string
+	// Env, if non-nil, replaces the environment for `go` invocations
+	// (use to cross-analyze, e.g. GOARCH=arm64).
+	Env []string
+}
+
+// Load enumerates patterns with `go list` and type-checks every
+// matched (non-dep-only) package from source.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.BuildTags != "" {
+		args = append(args, "-tags", cfg.BuildTags)
+	}
+	args = append(args, patterns...)
+	out, err := runGo(cfg, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	var targets []*listPackage
+	exportFile := map[string]string{} // import path -> export data file
+	importMap := map[string]string{}  // source import path -> resolved path
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+		for src, resolved := range lp.ImportMap {
+			importMap[src] = resolved
+		}
+		if !lp.DepOnly {
+			if lp.Error != nil && len(lp.GoFiles) == 0 {
+				return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			targets = append(targets, lp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+
+	goarch := goEnv(cfg, "GOARCH")
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if resolved, ok := importMap[path]; ok {
+			path = resolved
+		}
+		f, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, lp, imp, goarch)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, lp *listPackage, imp types.Importer, goarch string) (*Package, error) {
+	var files []*ast.File
+	names := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+	for _, name := range names {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", goarch),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypeErrors: terrs,
+	}, nil
+}
+
+func runGo(cfg Config, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	if cfg.Env != nil {
+		cmd.Env = cfg.Env
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go %s: %s", strings.Join(args, " "), msg)
+	}
+	return stdout.Bytes(), nil
+}
+
+func goEnv(cfg Config, key string) string {
+	out, err := runGo(cfg, "env", key)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

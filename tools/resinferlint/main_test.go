@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes builds the multichecker and proves the acceptance
+// contract: a tree containing any of the defect classes this PR fixed
+// (testdata/broken re-creates them in miniature) fails the build with
+// exit 1 and named findings, and the fixed tree (testdata/clean) exits
+// 0 silently.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "resinferlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	run := func(dir string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(), "GOWORK=off")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s in %s: %v\n%s", bin, dir, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := run("testdata/broken")
+	if code != 1 {
+		t.Fatalf("broken tree: exit %d, want 1\n%s", code, out)
+	}
+	for _, wanted := range []string{
+		"senterr: sentinel error errFanAbandoned compared with ==",
+		"senterr: fmt.Errorf formats an error without %w",
+		"noalloc: make allocates",
+	} {
+		if !strings.Contains(out, wanted) {
+			t.Errorf("broken tree output missing %q\n%s", wanted, out)
+		}
+	}
+
+	out, code = run("testdata/clean")
+	if code != 0 {
+		t.Fatalf("clean tree: exit %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean tree: expected no output, got\n%s", out)
+	}
+}

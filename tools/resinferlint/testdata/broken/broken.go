@@ -1,0 +1,38 @@
+// Package brokenfix holds, in miniature, the invariant violations this
+// PR fixed in the real tree. The multichecker must exit non-zero on
+// it; testdata/clean is the same logic with the fixes applied and must
+// exit zero. TestExitCodes drives both, which is the CI-verifiable
+// proof that reverting an in-PR fix turns the build red.
+package brokenfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errFanAbandoned = errors.New("every shard abandoned at deadline")
+
+// abandonCheck is sharded.go's pre-fix comparison, verbatim.
+func abandonCheck(err error) bool {
+	return err == errFanAbandoned
+}
+
+func wrapShardErr(s int, err error) error {
+	return fmt.Errorf("shard %d: %v", s, err)
+}
+
+// merge is annotated but allocates its dedup map per call — the shape
+// the fan-out scratch pool exists to prevent.
+//
+//resinfer:noalloc
+func merge(ids []int) int {
+	seen := make(map[int]bool, len(ids))
+	kept := 0
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			kept++
+		}
+	}
+	return kept
+}

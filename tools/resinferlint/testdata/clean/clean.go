@@ -1,0 +1,31 @@
+// Package cleanfix is testdata/broken with every finding fixed; the
+// multichecker must exit zero on it.
+package cleanfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errFanAbandoned = errors.New("every shard abandoned at deadline")
+
+func abandonCheck(err error) bool {
+	return errors.Is(err, errFanAbandoned)
+}
+
+func wrapShardErr(s int, err error) error {
+	return fmt.Errorf("shard %d: %w", s, err)
+}
+
+//resinfer:noalloc
+func merge(scratch map[int]bool, ids []int) int {
+	clear(scratch)
+	kept := 0
+	for _, id := range ids {
+		if !scratch[id] {
+			scratch[id] = true
+			kept++
+		}
+	}
+	return kept
+}
