@@ -1,0 +1,363 @@
+package resinfer_test
+
+// Replica-kill chaos test: a primary hedging onto one replica, SIGKILL
+// the replica while searches and acked ingest are in flight, and audit
+// that (1) not a single query fails or degrades to partial, (2) the
+// primary's results are bit-identical before and after the kill, and
+// (3) the restarted replica catches back up over WAL shipping, flips
+// /readyz, and converges to the primary's exact applied LSN and row
+// count — so no acknowledged mutation is lost across the churn.
+//
+// Like TestChaosKillMidIngest this drives the real annserve binary so
+// the kill is genuine process death, and only runs with RESINFER_CHAOS=1.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// reservePort grabs an ephemeral port and releases it so a process
+// started moments later can bind it. The primary needs the replica's
+// address in -replicas before the replica exists, so the port has to be
+// chosen up front.
+func reservePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// startReplica launches annserve in -join mode on a fixed port and
+// waits for /readyz to flip to 200 — the catch-up-complete signal.
+func startReplica(t *testing.T, bin, primaryURL string, port int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-join", primaryURL,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sawCatchingUp := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d/readyz", port))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				if sawCatchingUp {
+					t.Log("replica: observed 503 catching-up before ready flip")
+				}
+				return cmd
+			}
+			if code == http.StatusServiceUnavailable {
+				sawCatchingUp = true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("replica never became ready within 30s")
+	return nil
+}
+
+// chaosSearch runs one exact search and reports the IDs, whether the
+// response was partial, and any transport or HTTP failure.
+func chaosSearch(addr string, q []float32, k int) ([]int, bool, error) {
+	body, _ := json.Marshal(map[string]any{"query": q, "k": k, "mode": "exact"})
+	resp, err := http.Post("http://"+addr+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("search: status %d", resp.StatusCode)
+	}
+	var sr struct {
+		Neighbors []struct {
+			ID int `json:"id"`
+		} `json:"neighbors"`
+		Partial bool `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, false, err
+	}
+	ids := make([]int, len(sr.Neighbors))
+	for i, n := range sr.Neighbors {
+		ids[i] = n.ID
+	}
+	return ids, sr.Partial, nil
+}
+
+// replicaStatus reads applied_lsn and points from a node's replication
+// status endpoint.
+func replicaStatus(t *testing.T, addr string) (uint64, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/internal/replica/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		AppliedLSN uint64 `json:"applied_lsn"`
+		Points     int    `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.AppliedLSN, st.Points
+}
+
+// metricValue scrapes one counter from /metrics.
+func metricValue(t *testing.T, addr, name string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("parsing %s value %q: %v", name, fields[1], err)
+		}
+		return v
+	}
+	t.Fatalf("/metrics has no %s", name)
+	return 0
+}
+
+// TestChaosKillReplicaUnderLoad kills the hedge-target replica while
+// the primary serves a mixed search+ingest load. Every query must keep
+// returning full (non-partial) 200s, results must not change, and the
+// restarted replica must converge back to the primary's state.
+func TestChaosKillReplicaUnderLoad(t *testing.T) {
+	if os.Getenv("RESINFER_CHAOS") != "1" {
+		t.Skip("chaos test: set RESINFER_CHAOS=1 to run")
+	}
+	bin := filepath.Join(t.TempDir(), "annserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/annserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building annserve: %v", err)
+	}
+
+	replicaPort := reservePort(t)
+	replicaAddr := fmt.Sprintf("127.0.0.1:%d", replicaPort)
+
+	// The primary hedges onto the replica after 5ms; half its local
+	// shard probes are slowed 30ms so hedges genuinely fire and win.
+	primary, addr := startAnnserve(t, bin, t.TempDir(),
+		"-replicas", "http://"+replicaAddr,
+		"-hedge-delay", "5ms",
+		"-faults", "shard.search:delay=30ms,p=0.5",
+	)
+	defer func() { _ = primary.Process.Kill() }()
+
+	// Acked ingest before the replica joins: it must arrive via the
+	// bootstrap checkpoint (or early WAL tail).
+	const preJoin = 30
+	for i := 0; i < preJoin; i++ {
+		if _, err := chaosUpsert(addr, chaosVec(2+float32(i)*0.01)); err != nil {
+			t.Fatalf("pre-join upsert %d: %v", i, err)
+		}
+	}
+
+	replica := startReplica(t, bin, "http://"+addr, replicaPort)
+	defer func() { _ = replica.Process.Kill() }()
+
+	// A read-only replica must bounce writers to the primary.
+	if _, err := chaosUpsert(replicaAddr, chaosVec(1)); err == nil {
+		t.Fatal("replica accepted an upsert; want 503 redirect to primary")
+	}
+
+	// Baseline: the exact answers the primary serves with the replica
+	// healthy. Queries are deterministic so the post-kill comparison is
+	// exact, not statistical.
+	rng := rand.New(rand.NewSource(99))
+	queries := make([][]float32, 20)
+	for i := range queries {
+		q := make([]float32, chaosDim)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64()) * 3
+		}
+		queries[i] = q
+	}
+	baseline := make([][]int, len(queries))
+	for i, q := range queries {
+		ids, partial, err := chaosSearch(addr, q, 10)
+		if err != nil {
+			t.Fatalf("baseline query %d: %v", i, err)
+		}
+		if partial {
+			t.Fatalf("baseline query %d partial with all replicas healthy", i)
+		}
+		baseline[i] = ids
+	}
+
+	// Load phase: concurrent searches plus acked ingest, with the
+	// replica SIGKILLed mid-flight. Zero tolerance: any non-200, any
+	// transport error, any partial response fails the audit.
+	var (
+		failures  atomic.Int64
+		searches  atomic.Int64
+		ackedLoad atomic.Int64
+		wg        sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g*7+i)%len(queries)]
+				_, partial, err := chaosSearch(addr, q, 10)
+				searches.Add(1)
+				if err != nil {
+					t.Errorf("search during kill window: %v", err)
+					failures.Add(1)
+				} else if partial {
+					t.Error("partial response during kill window")
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := chaosUpsert(addr, chaosVec(50+float32(i)*0.01)); err != nil {
+				t.Errorf("acked upsert during kill window: %v", err)
+				failures.Add(1)
+				return
+			}
+			ackedLoad.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	if err := replica.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = replica.Wait()
+	// Keep the load running past the health-checker's ejection window
+	// (1s probes × 3 consecutive failures) so both the
+	// hedge-into-dead-peer and the post-ejection regimes are covered.
+	time.Sleep(4 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d searches failed or degraded after replica kill", failures.Load(), searches.Load())
+	}
+	t.Logf("kill window: %d searches, %d acked upserts, 0 failures", searches.Load(), ackedLoad.Load())
+
+	// Hedging must have actually exercised the replica path — otherwise
+	// this test proves nothing about hedge failure handling.
+	if hedged := metricValue(t, addr, "resinfer_hedged_total"); hedged == 0 {
+		t.Fatal("no hedges fired during the load; the kill window never exercised the replica path")
+	}
+
+	// Recall audit: the primary's answers are unchanged by losing its
+	// replica.
+	for i, q := range queries {
+		ids, partial, err := chaosSearch(addr, q, 10)
+		if err != nil {
+			t.Fatalf("post-kill query %d: %v", i, err)
+		}
+		if partial {
+			t.Fatalf("post-kill query %d partial", i)
+		}
+		if len(ids) != len(baseline[i]) {
+			t.Fatalf("post-kill query %d: %d results, baseline %d", i, len(ids), len(baseline[i]))
+		}
+		for j := range ids {
+			if ids[j] != baseline[i][j] {
+				t.Fatalf("post-kill query %d diverged: got %v, baseline %v", i, ids, baseline[i])
+			}
+		}
+	}
+
+	// Rejoin: a fresh replica on the same address catches up over the
+	// checkpoint + WAL tail and flips ready again.
+	replica2 := startReplica(t, bin, "http://"+addr, replicaPort)
+	defer func() { _ = replica2.Process.Kill() }()
+	pLSN, pPoints := replicaStatus(t, addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rLSN, rPoints := replicaStatus(t, replicaAddr)
+		if rLSN >= pLSN && rPoints == pPoints {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined replica stuck at lsn=%d points=%d; primary lsn=%d points=%d",
+				rLSN, rPoints, pLSN, pPoints)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The rejoined replica serves the same answers as the primary.
+	for i, q := range queries[:5] {
+		pIDs, _, err := chaosSearch(addr, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rIDs, _, err := chaosSearch(replicaAddr, q, 10)
+		if err != nil {
+			t.Fatalf("rejoined replica query %d: %v", i, err)
+		}
+		for j := range pIDs {
+			if pIDs[j] != rIDs[j] {
+				t.Fatalf("replica diverges on query %d: %v vs %v", i, rIDs, pIDs)
+			}
+		}
+	}
+
+	_ = replica2.Process.Signal(syscall.SIGTERM)
+	_ = replica2.Wait()
+	_ = primary.Process.Signal(syscall.SIGTERM)
+	_ = primary.Wait()
+}

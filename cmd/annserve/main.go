@@ -39,6 +39,7 @@ import (
 	"resinfer"
 	"resinfer/internal/dataset"
 	"resinfer/internal/fault"
+	"resinfer/internal/replica"
 	"resinfer/internal/server"
 )
 
@@ -79,6 +80,10 @@ func main() {
 		accessLog     = flag.Bool("access-log", false, "emit one structured line per request to stderr")
 		pprofFlag     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
+		replicasFlag = flag.String("replicas", "", "comma-separated peer base URLs (e.g. http://host:8081,http://host:8082): peers are health-checked and slow or failed shard probes are hedged onto them")
+		joinFlag     = flag.String("join", "", "join the primary at this base URL as a read-only replica: fetch its checkpoint, stream its WAL until caught up, then flip /readyz")
+		hedgeDelay   = flag.Duration("hedge-delay", 0, "per-shard hedge delay before re-issuing a probe to a peer (with -replicas; 0 = adaptive, tracking the observed shard p95)")
+
 		qualitySample  = flag.Int("quality-sample", 256, "shadow-recall sampling: re-run ~1/N of live queries as exact scans off-path and serve quality estimates at GET /debug/quality (0 disables)")
 		qualityWorkers = flag.Int("quality-workers", 1, "shadow ground-truth worker goroutines (with -quality-sample)")
 		sloLatency     = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO threshold for GET /debug/slo burn rates")
@@ -90,6 +95,23 @@ func main() {
 	walSync, err := resinfer.ParseWALSync(*walSyncFlag)
 	if err != nil {
 		log.Fatalf("annserve: %v", err)
+	}
+	peers, err := replica.ParsePeers(*replicasFlag)
+	if err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+	joinURL, err := replica.ParseJoin(*joinFlag)
+	if err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+	if err := replica.ValidateHedgeDelay(*hedgeDelay); err != nil {
+		log.Fatalf("annserve: %v", err)
+	}
+	if joinURL != "" && *loadPath != "" {
+		log.Fatalf("annserve: -join and -load conflict: a joining replica bootstraps from the primary's checkpoint, not a file")
+	}
+	if joinURL != "" && *walDir != "" {
+		log.Fatalf("annserve: -join and -wal-dir conflict: a replica's durability is the primary's WAL; on restart it re-joins from a fresh snapshot")
 	}
 	spec := *faultSpec
 	if spec == "" {
@@ -109,17 +131,67 @@ func main() {
 			threshSet = true
 		}
 	})
-	idx, err := buildOrLoad(*loadPath, *savePath, *kindFlag, *metric, *modesFlag,
-		*shards, *n, *dim, *train, *seed,
-		*mutable, *compactThresh, threshSet, *noAutoCompact, *walDir, walSync)
-	if err != nil {
-		log.Fatalf("annserve: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	repClient := replica.NewClient(2 * time.Second)
+	var follower *replica.Follower
+	var idx server.Searcher
+	if joinURL != "" {
+		log.Printf("annserve: joining %s as a read-only replica", joinURL)
+		opts := &resinfer.MutableOptions{DisableAutoCompact: *noAutoCompact}
+		if threshSet {
+			opts.CompactThreshold = *compactThresh
+		}
+		follower, err = replica.Join(ctx, joinURL, repClient, opts)
+		if err != nil {
+			log.Fatalf("annserve: %v", err)
+		}
+		idx = follower.Index()
+		log.Printf("annserve: loaded primary checkpoint: %d rows, cursor at lsn %d",
+			idx.Len(), follower.Cursor())
+	} else {
+		idx, err = buildOrLoad(*loadPath, *savePath, *kindFlag, *metric, *modesFlag,
+			*shards, *n, *dim, *train, *seed,
+			*mutable, *compactThresh, threshSet, *noAutoCompact, *walDir, walSync)
+		if err != nil {
+			log.Fatalf("annserve: %v", err)
+		}
 	}
 	if mx, ok := idx.(*resinfer.MutableIndex); ok {
 		defer mx.Close()
 	}
 
-	srv := server.New(idx, server.Config{
+	// hedgeable is the slice of the index API replicated serving drives;
+	// sharded and mutable indexes satisfy it.
+	type hedgeable interface {
+		SetShardHedger(resinfer.ShardHedger, time.Duration)
+		SetHedgeDelay(time.Duration)
+	}
+	var set *replica.Set
+	var hedged hedgeable
+	if len(peers) > 0 {
+		h, ok := idx.(hedgeable)
+		if !ok {
+			log.Fatalf("annserve: -replicas needs a sharded index (-shards > 1, or -mutable); a single unsharded index has no shard probes to hedge")
+		}
+		hedged = h
+		set = replica.NewSet(peers, repClient, replica.SetOptions{})
+		set.Start()
+		defer set.Close()
+		initial := *hedgeDelay
+		note := ""
+		if initial == 0 {
+			// Adaptive: start conservative, then track the observed shard
+			// p95 once the server's histograms have data.
+			initial = 25 * time.Millisecond
+			note = ", adapting to shard p95"
+		}
+		hedged.SetShardHedger(replica.Hedger(set), initial)
+		log.Printf("annserve: hedging onto %d peer(s) after %v%s", len(peers), initial, note)
+	}
+
+	cfg := server.Config{
 		DefaultK:         *k,
 		DefaultBudget:    *budget,
 		BatchWindow:      *batchWindow,
@@ -138,10 +210,26 @@ func main() {
 		SLOLatencyThreshold: *sloLatency,
 		SLOLatencyTarget:    *sloLatencyTgt,
 		SLORecallTarget:     *sloRecallTgt,
-	})
+	}
+	if follower != nil {
+		cfg.ReadyCheck = follower.Ready
+		cfg.ReplicaOf = joinURL
+	}
+	srv := server.New(idx, cfg)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if hedged != nil && *hedgeDelay == 0 {
+		ctrl := replica.StartDelayController(hedged, srv.ShardLatencyP95,
+			5*time.Second, time.Millisecond, time.Second)
+		defer ctrl.Close()
+	}
+	if follower != nil {
+		go func() {
+			if err := follower.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("annserve: replication stopped: %v", err)
+			}
+		}()
+	}
+
 	err = srv.Serve(ctx, *addr, func(bound string) {
 		log.Printf("annserve: serving %d points (query dim %d, modes %v, simd %s) on %s",
 			idx.Len(), idx.QueryDim(), idx.Modes(), resinfer.SIMDLevel(), bound)

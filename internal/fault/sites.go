@@ -38,6 +38,16 @@ const (
 	// SiteCompactSwap fires before a compaction hot-swaps the rebuilt
 	// base in; its argument is the shard number.
 	SiteCompactSwap Site = "compact.swap"
+	// SiteReplicaProbe fires before each health probe of a replica-set
+	// member; its argument is the member index. Errors model a
+	// partitioned peer, delays a slow one.
+	SiteReplicaProbe Site = "replica.probe"
+	// SiteReplicaFetch fires before a joining replica fetches the
+	// primary's checkpoint snapshot; errors model a failed join.
+	SiteReplicaFetch Site = "replica.fetch"
+	// SiteReplicaStream fires before each WAL tail fetch of the catch-up
+	// follower; errors and delays model a flaky or slow replication link.
+	SiteReplicaStream Site = "replica.stream"
 )
 
 // knownSites is the authoritative set ParseSpec validates against, in
@@ -48,6 +58,9 @@ var knownSites = []Site{
 	SiteShardSearch,
 	SiteCompactBuild,
 	SiteCompactSwap,
+	SiteReplicaProbe,
+	SiteReplicaFetch,
+	SiteReplicaStream,
 }
 
 // Sites returns the registered injection sites, in declaration order.

@@ -17,7 +17,9 @@ import (
 
 	"resinfer"
 	"resinfer/internal/dataset"
+	"resinfer/internal/fault"
 	"resinfer/internal/quality"
+	"resinfer/internal/replica"
 	"resinfer/internal/server"
 )
 
@@ -83,6 +85,29 @@ type QualityEntry struct {
 	OverheadPct   float64 `json:"overhead_pct"`
 }
 
+// HedgingEntry is the replicated-serving section of the serving bench:
+// the same traffic driven twice against a primary whose shard probes are
+// randomly slowed by an injected fault — once plain, once hedging onto a
+// peer replica serving the identical index. The point of hedging is the
+// tail: a slow shard stalls the whole unhedged fan-out, while the hedged
+// run re-issues that shard's probe to the peer after HedgeDelayMs and
+// takes whichever answers first. HedgedP99Ms below UnhedgedP99Ms — with
+// recall unchanged — is the acceptance criterion.
+type HedgingEntry struct {
+	FaultDelayMs  float64 `json:"fault_delay_ms"`
+	FaultP        float64 `json:"fault_p"`
+	HedgeDelayMs  float64 `json:"hedge_delay_ms"`
+	UnhedgedQPS   float64 `json:"unhedged_qps"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedQPS     float64 `json:"hedged_qps"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+	Hedged        uint64  `json:"hedged"`
+	HedgeWins     uint64  `json:"hedge_wins"`
+	HedgeRate     float64 `json:"hedge_rate"` // hedges per query
+	WinRate       float64 `json:"win_rate"`   // wins per hedge
+	RecallAt10    float64 `json:"recall_at_10"`
+}
+
 // ServingResult is the machine-readable document cmd/bench writes to
 // BENCH_serving.json so the serving-path perf trajectory is recorded
 // across PRs.
@@ -99,6 +124,7 @@ type ServingResult struct {
 	Entries  []ServingEntry `json:"entries"`
 	Quality  *QualityEntry  `json:"quality,omitempty"`
 	Overload *OverloadEntry `json:"overload,omitempty"`
+	Hedging  *HedgingEntry  `json:"hedging,omitempty"`
 }
 
 // RunServing benchmarks the sharded serving subsystem end to end: it
@@ -179,6 +205,16 @@ func RunServing(w io.Writer, outPath string) error {
 		fmt.Fprintf(w, "  overload  offered=%8.1f  goodput=%8.1f  shed=%5.1f%%  accepted-p99=%6.2fms\n",
 			ov.OfferedQPS, ov.GoodputQPS, 100*ov.ShedRate, ov.AcceptedP99Ms)
 	}
+
+	// Hedging section: replay exact-mode traffic with randomly slowed
+	// shard probes, plain versus hedged onto a peer replica.
+	he, err := runHedgingSection(sx, ds.Queries, gt, k, budget, clients)
+	if err != nil {
+		return err
+	}
+	result.Hedging = &he
+	fmt.Fprintf(w, "  hedging   p99 %6.2fms -> %6.2fms  (hedge rate %.1f%%, win rate %.1f%%)\n",
+		he.UnhedgedP99Ms, he.HedgedP99Ms, 100*he.HedgeRate, 100*he.WinRate)
 
 	raw, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
@@ -323,6 +359,89 @@ func runQualitySection(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]in
 			qe.LiveRecall, qe.OfflineRecall, qe.AgreementPts)
 	}
 	return qe, nil
+}
+
+// runHedgingSection measures hedged fan-out against a fault-slowed
+// primary. The peer replica is a second server over the same index in
+// this process, so the injected shard.search fault (process-global)
+// slows its probes with the same probability — the honest setup, since
+// real replicas share the same tail behavior. The fault parameters are
+// chosen so a slow shard is common per unhedged query (1-(1-p)^shards
+// well above 1%, pinning the unhedged p99 at the fault delay) but a
+// simultaneous local+hedge slowdown is rare (~shards·p², far below 1%),
+// which is exactly the regime where hedging pays.
+func runHedgingSection(sx *resinfer.ShardedIndex, queries [][]float32, gt [][]int, k, budget, clients int) (HedgingEntry, error) {
+	const (
+		faultDelay = 20 * time.Millisecond
+		faultP     = 0.02
+		hedgeDelay = 2 * time.Millisecond
+	)
+	fault.Seed(7)
+	restore := fault.Inject(fault.Injection{
+		Site: fault.SiteShardSearch, Delay: faultDelay, P: faultP, Arg: fault.AnyArg,
+	})
+	defer restore()
+
+	// Unhedged run first: same fault, no hedger armed.
+	entryU, err := runServingMode(sx, queries, gt, string(resinfer.Exact), k, budget, clients)
+	if err != nil {
+		return HedgingEntry{}, fmt.Errorf("unhedged run: %w", err)
+	}
+
+	// Peer replica: a second loopback server over the identical index,
+	// answering /internal/shard/search for the primary's hedges.
+	peerSrv := server.New(sx, server.Config{DefaultK: k, DefaultBudget: budget})
+	peerBase, peerShutdown, err := serveLoopback(peerSrv)
+	if err != nil {
+		return HedgingEntry{}, err
+	}
+	set := replica.NewSet([]string{peerBase}, replica.NewClient(2*time.Second),
+		replica.SetOptions{ProbeInterval: 50 * time.Millisecond})
+	set.Start()
+	h0, w0 := sx.HedgeStats()
+	sx.SetShardHedger(replica.Hedger(set), hedgeDelay)
+
+	entryH, err := runServingMode(sx, queries, gt, string(resinfer.Exact), k, budget, clients)
+	sx.SetHedgeDelay(0) // disarm before the index serves anything else
+	set.Close()
+	shutErr := peerShutdown()
+	if err != nil {
+		return HedgingEntry{}, fmt.Errorf("hedged run: %w", err)
+	}
+	if shutErr != nil {
+		return HedgingEntry{}, fmt.Errorf("peer shutdown: %w", shutErr)
+	}
+	h1, w1 := sx.HedgeStats()
+
+	he := HedgingEntry{
+		FaultDelayMs:  float64(faultDelay.Microseconds()) / 1000.0,
+		FaultP:        faultP,
+		HedgeDelayMs:  float64(hedgeDelay.Microseconds()) / 1000.0,
+		UnhedgedQPS:   entryU.QPS,
+		UnhedgedP99Ms: entryU.ClientP99Ms,
+		HedgedQPS:     entryH.QPS,
+		HedgedP99Ms:   entryH.ClientP99Ms,
+		Hedged:        h1 - h0,
+		HedgeWins:     w1 - w0,
+		RecallAt10:    entryH.RecallAt10,
+	}
+	if n := len(queries); n > 0 {
+		he.HedgeRate = float64(he.Hedged) / float64(n)
+	}
+	if he.Hedged > 0 {
+		he.WinRate = float64(he.HedgeWins) / float64(he.Hedged)
+	}
+	if he.Hedged == 0 {
+		return HedgingEntry{}, fmt.Errorf("no hedges fired (unhedged p99 %.2fms): the fault never slowed a probe past the hedge delay", he.UnhedgedP99Ms)
+	}
+	if he.HedgedP99Ms >= he.UnhedgedP99Ms {
+		return HedgingEntry{}, fmt.Errorf("hedging did not improve the tail: p99 %.2fms unhedged vs %.2fms hedged",
+			he.UnhedgedP99Ms, he.HedgedP99Ms)
+	}
+	if he.RecallAt10 < entryU.RecallAt10-0.01 {
+		return HedgingEntry{}, fmt.Errorf("hedged recall dipped: %.4f vs %.4f unhedged", he.RecallAt10, entryU.RecallAt10)
+	}
+	return he, nil
 }
 
 // runOverloadSection offers the server roughly 2x capacity QPS from an

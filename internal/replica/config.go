@@ -1,0 +1,104 @@
+// Package replica turns a set of annserve processes into a replicated
+// serving group. Each process serves the full index; peers reach each
+// other over the same HTTP listener that serves clients:
+//
+//   - A serving replica probes its peers' /readyz, maintains a
+//     health-checked member set (consecutive-failure ejection, backoff
+//     re-probe, re-admission), and hedges slow or failed shard probes
+//     onto a healthy peer via POST /internal/shard/search.
+//   - A joining replica fetches the primary's checkpoint snapshot from
+//     GET /internal/replica/checkpoint, then streams the WAL tail from
+//     GET /internal/replica/wal?from=<lsn> and replays it until caught
+//     up, serving read-only (readyz 503) in the meantime.
+//
+// The package owns the replication topology and transport only; the
+// hedged fan-out itself lives in the resinfer package
+// (ShardedIndex.SetShardHedger), and the HTTP endpoints a peer answers
+// live in internal/server.
+package replica
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ParsePeers validates a comma-separated list of peer base URLs (the
+// annserve -replicas flag). Every entry must be an absolute http or
+// https URL with a host and no query or fragment; trailing slashes are
+// stripped so path joins are uniform. Errors name the offending entry
+// and what a valid one looks like, so a typo fails at flag-parse time
+// with something actionable.
+func ParsePeers(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	peers := make([]string, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for i, part := range parts {
+		raw := strings.TrimSpace(part)
+		if raw == "" {
+			return nil, fmt.Errorf("replica: -replicas entry %d is empty (want comma-separated base URLs like http://host:8080, got %q)", i+1, spec)
+		}
+		u, err := normalizeBase(raw)
+		if err != nil {
+			return nil, fmt.Errorf("replica: -replicas entry %d: %w", i+1, err)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("replica: -replicas lists %s twice", u)
+		}
+		seen[u] = true
+		peers = append(peers, u)
+	}
+	return peers, nil
+}
+
+// ParseJoin validates the -join flag: the base URL of the primary a
+// fresh replica fetches its snapshot from, same shape rules as one
+// -replicas entry.
+func ParseJoin(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", nil
+	}
+	u, err := normalizeBase(raw)
+	if err != nil {
+		return "", fmt.Errorf("replica: -join: %w", err)
+	}
+	return u, nil
+}
+
+// ValidateHedgeDelay rejects a negative -hedge-delay. Zero is valid and
+// means "adaptive": the serving process tracks the observed per-shard
+// p95 and retunes the delay live.
+func ValidateHedgeDelay(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("replica: -hedge-delay %v is negative (want 0 for adaptive-from-p95, or a positive duration like 20ms)", d)
+	}
+	return nil
+}
+
+// normalizeBase parses and canonicalizes one peer base URL.
+func normalizeBase(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("parsing %q: %w (want a base URL like http://host:8080)", raw, err)
+	}
+	switch u.Scheme {
+	case "http", "https":
+	case "":
+		return "", fmt.Errorf("%q has no scheme (want a base URL like http://host:8080)", raw)
+	default:
+		return "", fmt.Errorf("%q uses scheme %q (want http or https)", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("%q has no host (want a base URL like http://host:8080)", raw)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("%q carries a query or fragment; a peer is addressed by its base URL only", raw)
+	}
+	u.Path = strings.TrimRight(u.Path, "/")
+	return u.String(), nil
+}

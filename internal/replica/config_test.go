@@ -1,0 +1,83 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePeersValid(t *testing.T) {
+	got, err := ParsePeers(" http://a:8080 ,https://b.example/base/, http://127.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8080", "https://b.example/base", "http://127.0.0.1:9000"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peer %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParsePeersEmptySpec(t *testing.T) {
+	got, err := ParsePeers("   ")
+	if err != nil || got != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestParsePeersRejections(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"http://a:8080,,http://b:8080", "entry 2 is empty"},
+		{"a:8080", "want http or https"},
+		{"localhost:8080", "want http or https"}, // parses as scheme "localhost"
+		{"ftp://a:8080", `scheme "ftp"`},
+		{"http://", "no host"},
+		{"http://a:8080?x=1", "query or fragment"},
+		{"http://a:8080,http://a:8080", "twice"},
+	}
+	for _, c := range cases {
+		_, err := ParsePeers(c.spec)
+		if err == nil {
+			t.Errorf("ParsePeers(%q): accepted, want error containing %q", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParsePeers(%q) = %v, want error containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	if got, err := ParseJoin("http://primary:8080/"); err != nil || got != "http://primary:8080" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if got, err := ParseJoin(""); err != nil || got != "" {
+		t.Fatalf("empty join: got %q, %v; want empty, nil", got, err)
+	}
+	if _, err := ParseJoin("primary:8080"); err == nil || !strings.Contains(err.Error(), "-join") {
+		t.Fatalf("schemeless join accepted or unlabelled: %v", err)
+	}
+}
+
+func TestValidateHedgeDelay(t *testing.T) {
+	if err := ValidateHedgeDelay(0); err != nil {
+		t.Fatalf("0 (adaptive) rejected: %v", err)
+	}
+	if err := ValidateHedgeDelay(20 * time.Millisecond); err != nil {
+		t.Fatalf("positive rejected: %v", err)
+	}
+	err := ValidateHedgeDelay(-time.Millisecond)
+	if err == nil {
+		t.Fatal("negative accepted")
+	}
+	if !strings.Contains(err.Error(), "negative") || !strings.Contains(err.Error(), "-hedge-delay") {
+		t.Fatalf("unactionable error: %v", err)
+	}
+}

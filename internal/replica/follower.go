@@ -1,0 +1,197 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"resinfer"
+	"resinfer/internal/retry"
+	"resinfer/internal/wal"
+)
+
+// Follower is a replica catching up to (and then shadowing) a primary:
+// it loads the primary's checkpoint snapshot, then repeatedly streams
+// the WAL tail past its cursor and replays it locally. Until the cursor
+// reaches the primary's applied LSN the follower reports itself not
+// ready (Ready returns an error, which internal/server surfaces as a
+// 503 /readyz — load balancers keep clients away while search still
+// works for anyone who asks); once caught up, readiness flips and
+// sticks while the follower keeps tailing.
+type Follower struct {
+	mx      *resinfer.MutableIndex
+	primary string
+	client  *Client
+
+	// PollInterval is the tail re-request cadence once caught up
+	// (default 250ms). Set before Run.
+	PollInterval time.Duration
+
+	cursor   atomic.Uint64
+	caughtUp atomic.Bool
+	failed   atomic.Pointer[error] // permanent failure (trimmed history)
+
+	upserts atomic.Uint64
+	deletes atomic.Uint64
+}
+
+// Join fetches the primary's checkpoint snapshot and loads it into a
+// fresh mutable index. opts should not set WALDir: the follower's
+// durability is the primary's WAL — on restart it re-joins from a fresh
+// snapshot rather than replaying local history that could collide with
+// reissued LSNs.
+func Join(ctx context.Context, primary string, client *Client, opts *resinfer.MutableOptions) (*Follower, error) {
+	rc, err := client.FetchCheckpoint(ctx, primary)
+	if err != nil {
+		return nil, fmt.Errorf("replica: joining %s: %w", primary, err)
+	}
+	defer rc.Close()
+	mx, err := resinfer.LoadMutable(rc, opts)
+	if err != nil {
+		return nil, fmt.Errorf("replica: loading %s checkpoint: %w", primary, err)
+	}
+	f := &Follower{mx: mx, primary: primary, client: client, PollInterval: 250 * time.Millisecond}
+	f.cursor.Store(mx.AppliedLSN())
+	return f, nil
+}
+
+// Index returns the follower's local index, ready to serve searches.
+func (f *Follower) Index() *resinfer.MutableIndex { return f.mx }
+
+// Cursor returns the LSN of the last primary record applied locally.
+func (f *Follower) Cursor() uint64 { return f.cursor.Load() }
+
+// CaughtUp reports whether the follower has reached the primary's
+// applied LSN at least once.
+func (f *Follower) CaughtUp() bool { return f.caughtUp.Load() }
+
+// Applied reports how many upserts and deletes the follower has
+// replayed from the stream since joining.
+func (f *Follower) Applied() (upserts, deletes uint64) {
+	return f.upserts.Load(), f.deletes.Load()
+}
+
+// Ready is the /readyz gate: nil once the follower has caught up, an
+// actionable error before then or after a permanent failure.
+func (f *Follower) Ready() error {
+	if p := f.failed.Load(); p != nil {
+		return *p
+	}
+	if !f.caughtUp.Load() {
+		return fmt.Errorf("replica: catching up to %s (cursor %d)", f.primary, f.cursor.Load())
+	}
+	return nil
+}
+
+// Err returns the permanent failure that stopped replication, if any.
+func (f *Follower) Err() error {
+	if p := f.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// streamRetry shapes transient tail-fetch retries: quick first retry,
+// exponential and jittered from there.
+var streamRetry = retry.Policy{Base: 100 * time.Millisecond, Factor: 2, Max: 2 * time.Second, Jitter: 0.2}
+
+// Run tails the primary until ctx is cancelled or the primary trims
+// history past the cursor (ErrGone, permanent — the process must
+// restart with -join to re-sync; it reports unready meanwhile). All
+// other errors — connection resets, corrupt transfers, primary
+// restarts — are retried with backoff from the current cursor, which
+// only ever advances past records that decoded and applied cleanly.
+func (f *Follower) Run(ctx context.Context) error {
+	fails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.tailOnce(ctx)
+		switch {
+		case err == nil:
+			fails = 0
+			if err := sleepCtx(ctx, f.PollInterval); err != nil {
+				return err
+			}
+		case errors.Is(err, ErrGone):
+			perm := fmt.Errorf("replica: %w (cursor %d; restart with -join to re-sync)", ErrGone, f.cursor.Load())
+			f.failed.Store(&perm)
+			f.caughtUp.Store(false)
+			return perm
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return err
+		default:
+			fails++
+			if err := sleepCtx(ctx, streamRetry.Backoff(fails-1)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// tailOnce fetches and applies one WAL tail from the cursor. On a clean
+// end of stream it marks the follower caught up if the cursor has
+// reached the primary's applied LSN at the time the tail was cut.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	tail, err := f.client.StreamTail(ctx, f.primary, f.cursor.Load())
+	if err != nil {
+		return err
+	}
+	defer tail.Close()
+	for {
+		rec, err := tail.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// A corrupt transfer: the cursor sits after the last good
+			// record, so the retry re-requests exactly what is missing.
+			return err
+		}
+		if err := f.apply(rec); err != nil {
+			return err
+		}
+		f.cursor.Store(rec.LSN)
+	}
+	if f.cursor.Load() >= tail.LastLSN {
+		f.caughtUp.Store(true)
+	}
+	return nil
+}
+
+// apply replays one primary record into the local index. Checkpoint
+// records carry no state change — the cursor still advances over them.
+func (f *Follower) apply(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpUpsert:
+		if _, err := f.mx.Upsert(rec.ID, rec.Vec); err != nil {
+			return fmt.Errorf("replica: applying upsert lsn %d: %w", rec.LSN, err)
+		}
+		f.upserts.Add(1)
+	case wal.OpDelete:
+		if _, err := f.mx.Delete(rec.ID); err != nil {
+			return fmt.Errorf("replica: applying delete lsn %d: %w", rec.LSN, err)
+		}
+		f.deletes.Add(1)
+	case wal.OpCheckpoint:
+		// No local effect; the primary's snapshot boundary.
+	default:
+		return fmt.Errorf("replica: unknown op %d at lsn %d", rec.Op, rec.LSN)
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,91 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"resinfer"
+)
+
+// ErrNoHealthyReplica fails a hedge fast when every peer is ejected;
+// the shard's outcome then rests on the local probe alone.
+var ErrNoHealthyReplica = errors.New("replica: no healthy peer to hedge onto")
+
+// Hedger adapts a health-checked Set into the resinfer.ShardHedger the
+// sharded fan-out fires at a slow or failed shard: pick the next
+// healthy peer round-robin, re-issue the shard probe over HTTP, and let
+// the fan-out race it against the local probe. Install with
+// ShardedIndex.SetShardHedger.
+func Hedger(set *Set) resinfer.ShardHedger {
+	return func(ctx context.Context, shard int, q []float32, k int, mode resinfer.Mode, budget int) ([]resinfer.Neighbor, resinfer.SearchStats, error) {
+		base, ok := set.PickHealthy()
+		if !ok {
+			return nil, resinfer.SearchStats{}, ErrNoHealthyReplica
+		}
+		return set.client.ShardSearch(ctx, base, shard, q, k, mode, budget)
+	}
+}
+
+// hedgeTuner is the slice of the index API the delay controller drives.
+type hedgeTuner interface {
+	SetHedgeDelay(time.Duration)
+}
+
+// DelayController retunes the hedge delay live from an observed latency
+// quantile — by default the per-shard search p95, so hedges fire for
+// roughly the slowest 5% of probes (the tail-at-scale operating point)
+// instead of at a guessed constant. Construct with StartDelayController
+// and stop with Close.
+type DelayController struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartDelayController starts a controller that every interval reads
+// p95 (seconds; zero means "no data yet") and applies it, clamped to
+// [floor, ceil], as idx's hedge delay. Until first data arrives the
+// delay installed at SetShardHedger time stands.
+func StartDelayController(idx hedgeTuner, p95 func() float64, interval, floor, ceil time.Duration) *DelayController {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if floor <= 0 {
+		floor = time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	c := &DelayController{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+			}
+			q := p95()
+			if q <= 0 {
+				continue
+			}
+			d := time.Duration(q * float64(time.Second))
+			if d < floor {
+				d = floor
+			}
+			if d > ceil {
+				d = ceil
+			}
+			idx.SetHedgeDelay(d)
+		}
+	}()
+	return c
+}
+
+// Close stops the controller and waits for it to exit.
+func (c *DelayController) Close() {
+	close(c.stop)
+	<-c.done
+}

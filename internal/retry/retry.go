@@ -1,0 +1,156 @@
+// Package retry is the one bounded-retry loop of the serving stack:
+// jittered exponential backoff, a max-attempts cap, and context-aware
+// sleeping. The WAL append path, the replica health prober, and the
+// catch-up fetcher all retry through it, so their schedules are tuned
+// (and tested) in one place instead of three hand-rolled loops.
+//
+// A Policy is a value; the zero value retries once (no retry at all),
+// so every caller states its schedule explicitly. Do retries fn until
+// it succeeds, returns a Permanent error, the attempts run out, or ctx
+// is cancelled mid-backoff.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry schedule. Fields left zero take the
+// documented defaults, so Policy{Attempts: 3, Base: 5 * time.Millisecond}
+// reads as "three attempts, 5ms apart, doubling".
+type Policy struct {
+	// Attempts caps how many times fn runs (first call included).
+	// Zero or negative means one attempt — no retry.
+	Attempts int
+	// Base is the backoff before the second attempt (default 1ms).
+	Base time.Duration
+	// Max caps the grown backoff; 0 means no cap.
+	Max time.Duration
+	// Factor multiplies the backoff after each failure (default 2; use
+	// 1 for a constant schedule).
+	Factor float64
+	// Jitter randomizes each backoff multiplicatively into
+	// [1-Jitter, 1] of its nominal value, de-synchronizing retry storms
+	// across replicas. 0 disables jitter; values are clamped to [0, 1].
+	Jitter float64
+
+	// sleep and rnd are test seams: tests inject a recording clock and
+	// a fixed random source to assert the exact schedule.
+	sleep func(ctx context.Context, d time.Duration) error
+	rnd   func() float64
+}
+
+// permanentError marks an error Do must not retry.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops retrying and returns err as-is.
+// Callers use it for failures where retrying cannot help: a closed log,
+// a rejected join, an invalid request.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// attempts returns the effective attempt cap.
+func (p Policy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// Backoff returns the jittered backoff before attempt n (n counts
+// failures so far: the delay between attempt n and n+1, n >= 1). It is
+// exported for callers that own their loop — the replica prober sleeps
+// Backoff(consecutiveFailures) between probes of an unhealthy peer.
+func (p Policy) Backoff(n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	base := p.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	factor := p.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 1; i < n; i++ {
+		d *= factor
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		r := rand.Float64
+		if p.rnd != nil {
+			r = p.rnd
+		}
+		d *= 1 - j*r()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn up to p.Attempts times, sleeping the jittered backoff
+// between attempts. It returns nil on the first success, the unwrapped
+// error as soon as fn returns a Permanent one, ctx's error if the
+// context expires during a backoff, and otherwise the last attempt's
+// error once the attempts are spent. fn itself is never preempted —
+// callers that want per-attempt deadlines derive them from ctx inside
+// fn.
+func (p Policy) Do(ctx context.Context, fn func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= p.attempts() {
+			return err
+		}
+		if serr := p.sleepFor(ctx, p.Backoff(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleepFor blocks for d or until ctx is done, whichever comes first.
+func (p Policy) sleepFor(ctx context.Context, d time.Duration) error {
+	if p.sleep != nil {
+		return p.sleep(ctx, d)
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,148 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingSleep captures the backoff schedule Do would have slept,
+// without sleeping — the injected clock of the satellite spec.
+func recordingSleep(dst *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*dst = append(*dst, d)
+		return nil
+	}
+}
+
+func TestBackoffScheduleExponential(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 10 * time.Millisecond, Factor: 2, Max: 50 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond, // capped by Max
+	}
+	var got []time.Duration
+	p.sleep = recordingSleep(&got)
+	errFail := errors.New("fail")
+	if err := p.Do(context.Background(), func() error { return errFail }); !errors.Is(err, errFail) {
+		t.Fatalf("Do = %v, want %v", err, errFail)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBackoffConstantSchedule(t *testing.T) {
+	// Factor 1 is the WAL append schedule: a constant gap.
+	p := Policy{Attempts: 3, Base: 5 * time.Millisecond, Factor: 1}
+	var got []time.Duration
+	p.sleep = recordingSleep(&got)
+	p.Do(context.Background(), func() error { return errors.New("x") })
+	if len(got) != 2 {
+		t.Fatalf("slept %d times, want 2", len(got))
+	}
+	for i, d := range got {
+		if d != 5*time.Millisecond {
+			t.Errorf("backoff[%d] = %v, want 5ms", i, d)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Jitter: 0.5}
+	// rnd = 0 keeps the full backoff; rnd = 1 shrinks it to half.
+	p.rnd = func() float64 { return 0 }
+	if d := p.Backoff(1); d != 100*time.Millisecond {
+		t.Errorf("jitter(r=0) = %v, want 100ms", d)
+	}
+	p.rnd = func() float64 { return 1 }
+	if d := p.Backoff(1); d != 50*time.Millisecond {
+		t.Errorf("jitter(r=1) = %v, want 50ms", d)
+	}
+	p.rnd = func() float64 { return 0.5 }
+	if d := p.Backoff(1); d != 75*time.Millisecond {
+		t.Errorf("jitter(r=0.5) = %v, want 75ms", d)
+	}
+}
+
+func TestDoStopsOnSuccess(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Millisecond}
+	var slept []time.Duration
+	p.sleep = recordingSleep(&slept)
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || len(slept) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/3/2", err, calls, len(slept))
+	}
+}
+
+func TestDoPermanentShortCircuits(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Millisecond}
+	var slept []time.Duration
+	p.sleep = recordingSleep(&slept)
+	errClosed := errors.New("closed")
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return Permanent(errClosed)
+	})
+	if !errors.Is(err, errClosed) {
+		t.Fatalf("Do = %v, want the permanent cause unwrapped", err)
+	}
+	if calls != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d sleeps=%d, want 1/0 (no retry on permanent)", calls, len(slept))
+	}
+}
+
+func TestPermanentNilIsNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestDoContextCancelledDuringBackoff(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.Do(ctx, func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled before the retry)", calls)
+	}
+}
+
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	errX := errors.New("x")
+	if err := (Policy{}).Do(context.Background(), func() error { calls++; return errX }); !errors.Is(err, errX) {
+		t.Fatalf("Do = %v, want %v", err, errX)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (zero policy never retries)", calls)
+	}
+}
+
+func TestBackoffFloorsAtOneNanosecond(t *testing.T) {
+	p := Policy{Base: 1, Jitter: 1}
+	p.rnd = func() float64 { return 1 } // would shrink to zero
+	if d := p.Backoff(1); d < 1 {
+		t.Fatalf("Backoff = %v, want >= 1ns", d)
+	}
+}

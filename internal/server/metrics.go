@@ -174,10 +174,14 @@ func (m *metrics) snapshot() StatsSnapshot {
 // the shadow quality tracker; the index exposes a single compaction
 // observer slot, so the metrics observer also rolls the tracker's
 // since-compaction recall epoch.
-func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator, qt *quality.Tracker) {
+// It returns the per-shard search-duration histograms (nil when the
+// index is unsharded) so the server can derive the observed shard p95 —
+// the adaptive hedge-delay source.
+func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator, qt *quality.Tracker) []*obs.Histogram {
 	reg.GaugeFunc("resinfer_index_points", "Rows currently searchable in the index.",
 		func() float64 { return float64(idx.Len()) })
 
+	var shardDurs []*obs.Histogram
 	if so, ok := idx.(shardObservable); ok {
 		n := so.NumShards()
 		durs := make([]*obs.Histogram, n)
@@ -200,6 +204,7 @@ func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator, qt *qual
 			cmps[shard].Add(st.Comparisons)
 			prns[shard].Add(st.Pruned)
 		})
+		shardDurs = durs
 	}
 
 	if co, ok := idx.(compactionObservable); ok {
@@ -265,4 +270,5 @@ func registerIndexMetrics(reg *obs.Registry, idx Searcher, mut Mutator, qt *qual
 		reg.GaugeFunc("resinfer_wal_segments", "WAL segment files on disk.",
 			stat(func(m resinfer.MutationStats) float64 { return float64(m.WALSegments) }))
 	}
+	return shardDurs
 }

@@ -122,6 +122,18 @@ type Config struct {
 	SLOLatencyThreshold time.Duration
 	SLOLatencyTarget    float64
 	SLORecallTarget     float64
+
+	// ReadyCheck, when set, gates GET /readyz beyond the degraded probe:
+	// a non-nil return serves 503 with the error as the reason. A
+	// catching-up replica hooks its follower state in here, so load
+	// balancers admit it only once its WAL cursor has reached the
+	// primary.
+	ReadyCheck func() error
+	// ReplicaOf marks this server a read-only replica of the named
+	// primary: the mutation endpoints are registered as rejections (503
+	// naming the primary) instead of being wired to the index, which
+	// only the replication stream may mutate.
+	ReplicaOf string
 }
 
 func (c Config) withDefaults() Config {
@@ -183,7 +195,8 @@ type Server struct {
 	access   *log.Logger      // nil unless Config.AccessLog
 	quality  *quality.Tracker // nil unless shadow sampling is enabled
 	slo      *quality.SLO
-	traceSeq atomic.Uint64 // request trace-ID allocator
+	traceSeq atomic.Uint64    // request trace-ID allocator
+	shardDur []*obs.Histogram // per-shard search latency (nil when unsharded)
 }
 
 // New wraps idx in a server. The caller must not reconfigure idx (e.g.
@@ -237,12 +250,19 @@ func New(idx Searcher, cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	if m, ok := idx.(Mutator); ok {
+	if c.ReplicaOf != "" {
+		// A read-only replica: only the replication stream mutates the
+		// index, so external writers get a redirect-shaped 503 instead.
+		s.mux.HandleFunc("POST /upsert", s.handleReplicaReject)
+		s.mux.HandleFunc("POST /delete", s.handleReplicaReject)
+		s.mux.HandleFunc("POST /compact", s.handleReplicaReject)
+	} else if m, ok := idx.(Mutator); ok {
 		s.mut = m
 		s.mux.HandleFunc("POST /upsert", s.handleUpsert)
 		s.mux.HandleFunc("POST /delete", s.handleDelete)
 		s.mux.HandleFunc("POST /compact", s.handleCompact)
 	}
+	s.registerReplication(idx)
 	if c.QualitySampleRate > 0 {
 		if gt, ok := idx.(groundTruther); ok {
 			s.quality = quality.NewTracker(gt, quality.Config{
@@ -260,8 +280,26 @@ func New(idx Searcher, cfg Config) *Server {
 	})
 	s.slo.Register(s.reg)
 	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
-	registerIndexMetrics(s.reg, idx, s.mut, s.quality)
+	s.shardDur = registerIndexMetrics(s.reg, idx, s.mut, s.quality)
 	return s
+}
+
+// ShardLatencyP95 returns the worst per-shard p95 search latency in
+// seconds observed so far, 0 before any shard probe has been recorded
+// or on an unsharded index. The adaptive hedge-delay controller polls
+// it: hedging at the shard p95 re-issues roughly the slowest 5% of
+// probes.
+func (s *Server) ShardLatencyP95() float64 {
+	var worst float64
+	for _, h := range s.shardDur {
+		if h.Count() == 0 {
+			continue
+		}
+		if q := h.Quantile(0.95); q > worst {
+			worst = q
+		}
+	}
+	return worst
 }
 
 // handleQuality serves the shadow-sampling quality snapshot: recall /
@@ -732,6 +770,13 @@ type readyResponse struct {
 // balancers should route mutating traffic elsewhere. 503 while
 // degraded, 200 otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadyCheck != nil {
+		if err := s.cfg.ReadyCheck(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				readyResponse{Status: "catching-up", Degraded: err.Error()})
+			return
+		}
+	}
 	if s.degr != nil {
 		if err := s.degr.Degraded(); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable,

@@ -1,6 +1,7 @@
 package resinfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"resinfer/internal/obs"
 	"resinfer/internal/persist"
 	"resinfer/internal/stream"
+	"resinfer/internal/wal"
 )
 
 // Default streaming-ingestion knobs, materialized by
@@ -492,6 +494,30 @@ func (mx *MutableIndex) Checkpoint() error {
 	return mx.maybeWALCheckpoint()
 }
 
+// AppliedLSN returns the LSN of the last WAL record applied to this
+// index: what a snapshot taken now would cover. It is 0 when no WAL is
+// attached and no WAL-backed snapshot was loaded. The replication
+// primary reports it so followers can tell when they have caught up.
+func (mx *MutableIndex) AppliedLSN() uint64 {
+	return mx.sx.mut.appliedLSN.Load()
+}
+
+// WALReplay replays every record of the attached log with LSN > after
+// into fn — the tail-serving half of replication catch-up: the primary
+// streams the records a follower's cursor is missing. It returns
+// ErrNoWAL when the index has no log attached.
+func (mx *MutableIndex) WALReplay(after uint64, fn func(wal.Record) error) (wal.ReplayStats, error) {
+	w := mx.sx.mut.wal
+	if w == nil {
+		return wal.ReplayStats{}, ErrNoWAL
+	}
+	return w.Replay(after, fn)
+}
+
+// ErrNoWAL reports a WAL-dependent operation on an index running
+// without a write-ahead log.
+var ErrNoWAL = errors.New("resinfer: no write-ahead log attached")
+
 // MutationStats snapshots the streaming counters.
 func (mx *MutableIndex) MutationStats() MutationStats {
 	st := MutationStats{
@@ -542,6 +568,19 @@ func (mx *MutableIndex) SearchInto(dst []Neighbor, q []float32, k int, mode Mode
 // SearchBatch runs Search for every query concurrently.
 func (mx *MutableIndex) SearchBatch(queries [][]float32, k int, mode Mode, budget, workers int) ([]BatchResult, error) {
 	return mx.sx.SearchBatch(queries, k, mode, budget, workers)
+}
+
+// SearchWithStatsCtx is SearchWithStats under a deadline, with
+// partial-result merging and hedged fan-out armed; see
+// ShardedIndex.SearchWithStatsCtx.
+func (mx *MutableIndex) SearchWithStatsCtx(ctx context.Context, q []float32, k int, mode Mode, budget int, tr *obs.Trace) ([]Neighbor, SearchStats, error) {
+	return mx.sx.SearchWithStatsCtx(ctx, q, k, mode, budget, tr)
+}
+
+// SearchBatchCtx is SearchBatch under a deadline; see
+// ShardedIndex.SearchBatchCtx.
+func (mx *MutableIndex) SearchBatchCtx(ctx context.Context, queries [][]float32, k int, mode Mode, budget, workers int, traces []*obs.Trace) ([]BatchResult, error) {
+	return mx.sx.SearchBatchCtx(ctx, queries, k, mode, budget, workers, traces)
 }
 
 // Enable trains and installs a self-calibrating comparator on every

@@ -10,6 +10,7 @@ import (
 
 	"resinfer/internal/fault"
 	"resinfer/internal/heap"
+	"resinfer/internal/retry"
 	"resinfer/internal/stream"
 	"resinfer/internal/wal"
 )
@@ -37,13 +38,11 @@ var (
 	ErrDegraded = errors.New("resinfer: index degraded to read-only after persistent WAL failure")
 )
 
-// walAppendRetries bounds the in-line retry of a transient WAL append
-// failure before the index declares itself degraded; retries back off
-// walAppendBackoff each.
-const (
-	walAppendRetries = 3
-	walAppendBackoff = 5 * time.Millisecond
-)
+// walAppendPolicy bounds the in-line retry of a transient WAL append
+// failure before the index declares itself degraded: three attempts on
+// a constant 5ms gap (Factor 1 — the append path wants a predictable,
+// short stall, not an exponential one).
+var walAppendPolicy = retry.Policy{Attempts: 3, Base: 5 * time.Millisecond, Factor: 1}
 
 // This file is the streaming-ingestion substrate of ShardedIndex: each
 // shard pairs its immutable base index with an append-only memtable
@@ -111,27 +110,30 @@ func (m *mutState) degradedErr() error {
 	return nil
 }
 
-// walAppend runs one WAL append with bounded in-line retry: a transient
-// failure (e.g. a rolled-back write error) gets walAppendRetries
-// attempts with walAppendBackoff between them; when every attempt fails
-// the index flips itself degraded — fail-stop read-only — and the
-// mutation (and every later one) reports ErrDegraded. Called under m.mu.
+// walAppend runs one WAL append under walAppendPolicy: a transient
+// failure (e.g. a rolled-back write error) is retried; when every
+// attempt fails the index flips itself degraded — fail-stop read-only —
+// and the mutation (and every later one) reports ErrDegraded. Called
+// under m.mu.
 func (m *mutState) walAppend(do func() (uint64, error)) (uint64, error) {
-	var err error
-	for attempt := 0; attempt < walAppendRetries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(walAppendBackoff)
-		}
-		var lsn uint64
-		lsn, err = do()
-		if err == nil {
-			return lsn, nil
-		}
-		if errors.Is(err, wal.ErrClosed) {
+	var lsn uint64
+	var closed bool
+	err := walAppendPolicy.Do(nil, func() error {
+		var aerr error
+		lsn, aerr = do()
+		if errors.Is(aerr, wal.ErrClosed) {
 			// The log was closed deliberately (index shutdown), not lost:
 			// not a degradation, and retrying cannot help.
-			return 0, fmt.Errorf("resinfer: wal append: %w", err)
+			closed = true
+			return retry.Permanent(aerr)
 		}
+		return aerr
+	})
+	if err == nil {
+		return lsn, nil
+	}
+	if closed {
+		return 0, fmt.Errorf("resinfer: wal append: %w", err)
 	}
 	derr := fmt.Errorf("%w (cause: %v)", ErrDegraded, err)
 	m.degraded.Store(&derr)

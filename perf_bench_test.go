@@ -10,6 +10,7 @@ package resinfer_test
 // Run with: go test -bench=SearchInto -benchmem .
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -232,5 +233,45 @@ func TestSearchIntoShardedMetricsOnZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("sharded search with metrics on: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSearchIntoShardedHedgerInstalledZeroAlloc extends the bar to
+// replicated serving: with a shard hedger armed (as every replica in a
+// replication topology runs), the untraced, unhedged steady-state path
+// must still perform zero heap allocations per query. Hedging machinery
+// only engages on the deadline-aware path, so arming it must cost the
+// plain path nothing.
+func TestSearchIntoShardedHedgerInstalledZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	if raceguard.Enabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	sx, _ := shardedObsSetup(t)
+	sx.SetShardHedger(func(ctx context.Context, shard int, q []float32, k int, mode resinfer.Mode, budget int) ([]resinfer.Neighbor, resinfer.SearchStats, error) {
+		t.Error("hedger fired on the plain (non-ctx) search path")
+		return nil, resinfer.SearchStats{}, nil
+	}, time.Millisecond)
+	var dst []resinfer.Neighbor
+	for i := 0; i < 8; i++ {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, _, err = sx.SearchInto(dst[:0], benchQs[i%len(benchQs)], benchK, resinfer.DDCRes, 80)
+		i++
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded search with hedger installed: %v allocs/op, want 0", allocs)
 	}
 }

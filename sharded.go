@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resinfer/internal/fault"
@@ -79,6 +80,18 @@ type ShardedIndex struct {
 	// nil-cheap: the untraced, unobserved fan-out does not even read the
 	// clock.
 	shardObs func(shard int, d time.Duration, st SearchStats)
+
+	// hedger, when non-nil, re-issues a slow or failed shard probe to a
+	// peer replica (see SetShardHedger; deadline-aware fan-out only).
+	// Installed before serving begins, like shardObs. hedgeDelayNs is
+	// the per-shard hedge delay in nanoseconds — atomic because an
+	// adaptive controller retunes it live from the observed p95; a value
+	// <= 0 disables hedging for the query that reads it. hedged and
+	// hedgeWins back resinfer_hedged_total / resinfer_hedge_wins_total.
+	hedger       ShardHedger
+	hedgeDelayNs atomic.Int64
+	hedged       atomic.Uint64
+	hedgeWins    atomic.Uint64
 }
 
 // SetShardObserver installs fn as the per-shard probe observer: it is
@@ -109,18 +122,32 @@ type shardOut struct {
 	d    time.Duration
 }
 
-// fanScratch is the pooled per-query fan-out state.
+// fanScratch is the pooled per-query fan-out state. houts holds each
+// shard's hedge-probe slot (written only by the hedge goroutine the
+// coordinator launched for that shard, ordered by the completion
+// channel exactly like outs); complete marks shards answered by either
+// path; cancels aborts a shard's in-flight hedge when the local probe
+// wins.
 type fanScratch struct {
-	outs []shardOut
-	rq   *heap.ResultQueue
-	qbuf []float32        // mutable-path scan-space query scratch (Cosine)
-	seen map[int]struct{} // mutable-path merge dedup, reused across queries
+	outs     []shardOut
+	houts    []shardOut
+	complete []bool
+	cancels  []context.CancelFunc
+	rq       *heap.ResultQueue
+	qbuf     []float32        // mutable-path scan-space query scratch (Cosine)
+	seen     map[int]struct{} // mutable-path merge dedup, reused across queries
 }
 
 func (sx *ShardedIndex) initFanPool() {
 	n := len(sx.shards)
 	sx.fanPool.New = func() any {
-		return &fanScratch{outs: make([]shardOut, n), rq: heap.NewResultQueue(16)}
+		return &fanScratch{
+			outs:     make([]shardOut, n),
+			houts:    make([]shardOut, n),
+			complete: make([]bool, n),
+			cancels:  make([]context.CancelFunc, n),
+			rq:       heap.NewResultQueue(16),
+		}
 	}
 	sx.gtPool.New = func() any {
 		return &gtScratch{rq: heap.NewResultQueue(16), shardOf: make(map[int]int, 32)}
@@ -370,11 +397,13 @@ func (sx *ShardedIndex) searchFan(ctx context.Context, dst []Neighbor, q []float
 	}
 	abandoned := false
 	if ctx != nil {
-		abandoned = sx.fanDeadline(ctx, outs, q, qScan, k, mode, budget, tr != nil)
+		abandoned = sx.fanDeadline(ctx, fs, q, qScan, k, mode, budget, tr != nil)
 		if tr != nil {
 			for s := range outs {
 				if outs[s].done && outs[s].err == nil {
 					tr.Shard(s, outs[s].t0, outs[s].d, outs[s].st.Comparisons, outs[s].st.Pruned)
+				} else if fs.houts[s].done && fs.houts[s].err == nil {
+					tr.Shard(s, fs.houts[s].t0, fs.houts[s].d, fs.houts[s].st.Comparisons, fs.houts[s].st.Pruned)
 				}
 			}
 		}
@@ -440,11 +469,28 @@ func (sx *ShardedIndex) fanParallel(outs []shardOut, q, qScan []float32, k int, 
 // in tr: a straggler finishing after the caller has released the trace
 // must not touch it, so searchFan emits trace entries for done shards
 // only, after the fan returns.
-func (sx *ShardedIndex) fanDeadline(ctx context.Context, outs []shardOut, q, qScan []float32, k int, mode Mode, budget int, timed bool) (abandoned bool) {
-	for s := range outs {
+//
+// With a hedger installed (SetShardHedger) and a positive hedge delay,
+// a shard that has not answered when the delay expires — exactly the
+// shard that would otherwise trip the fan deadline — has its query
+// re-issued to a peer replica; a shard whose local probe fails is
+// hedged immediately. The first good answer per shard wins: a local
+// completion cancels its losing hedge's context (aborting the remote
+// call), and a hedge that answers first is counted as a win. A shard
+// counts as failed only when every path — local probe and hedge — has
+// failed, so partial results now mean all replicas of a shard are down.
+func (sx *ShardedIndex) fanDeadline(ctx context.Context, fs *fanScratch, q, qScan []float32, k int, mode Mode, budget int, timed bool) (abandoned bool) {
+	n := len(sx.shards)
+	outs := fs.outs
+	for s := 0; s < n; s++ {
 		outs[s].done = false
+		fs.houts[s].done = false
+		fs.complete[s] = false
+		fs.cancels[s] = nil
 	}
-	doneCh := make(chan int, len(sx.shards))
+	// Buffered for every possible completion — locals plus one hedge per
+	// shard — so abandoned probes never block.
+	doneCh := make(chan int, 2*n)
 	for s := range sx.shards {
 		go func(s int) {
 			var t0 time.Time
@@ -458,24 +504,133 @@ func (sx *ShardedIndex) fanDeadline(ctx context.Context, outs []shardOut, q, qSc
 			doneCh <- s
 		}(s)
 	}
-	for n := 0; n < len(sx.shards); n++ {
+	hedging := false
+	var hedgeC <-chan time.Time
+	if sx.hedger != nil {
+		if d := time.Duration(sx.hedgeDelayNs.Load()); d > 0 {
+			hedging = true
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	launch := func(s int) {
+		hctx, cancel := context.WithCancel(ctx)
+		fs.cancels[s] = cancel
+		sx.hedged.Add(1)
+		go func() {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			h := &fs.houts[s]
+			h.ns, h.st, h.err = sx.hedger(hctx, s, q, k, mode, budget)
+			if timed {
+				h.t0, h.d = t0, time.Since(t0)
+			}
+			doneCh <- n + s
+		}()
+	}
+	launched := n
+	received := 0
+	completed := 0
+	// arrive records one completion. A shard completes on its first good
+	// answer, or once every path that could still answer has failed.
+	arrive := func(i int) {
+		received++
+		s := i
+		if i >= n {
+			s = i - n
+		}
+		slot := &outs[s]
+		if i >= n {
+			slot = &fs.houts[s]
+		}
+		slot.done = true
+		if fs.complete[s] {
+			return
+		}
+		if slot.err == nil {
+			fs.complete[s] = true
+			completed++
+			if i >= n {
+				sx.hedgeWins.Add(1)
+			} else if c := fs.cancels[s]; c != nil {
+				c() // local won: abort the losing hedge
+			}
+			return
+		}
+		if i < n {
+			// Local probe failed: retry on a replica immediately — no
+			// point waiting for the hedge delay — unless one is already
+			// in flight or hedging is off.
+			if hedging && fs.cancels[s] == nil {
+				launched++
+				launch(s)
+				return
+			}
+			if fs.cancels[s] != nil && !fs.houts[s].done {
+				return // hedge still in flight; it may yet answer
+			}
+		} else if !outs[s].done {
+			return // hedge failed but the local probe may yet answer
+		}
+		fs.complete[s] = true
+		completed++
+	}
+	for completed < n {
 		select {
-		case s := <-doneCh:
-			outs[s].done = true
+		case i := <-doneCh:
+			arrive(i)
+		case <-hedgeC:
+			hedgeC = nil
+			for s := 0; s < n; s++ {
+				if !fs.complete[s] && fs.cancels[s] == nil {
+					launched++
+					launch(s)
+				}
+			}
 		case <-ctx.Done():
 			// Collect probes that completed concurrently with the deadline,
-			// then walk away from the rest.
+			// then walk away from the rest. No new hedges past the
+			// deadline: their context is already dead.
+			hedging = false
 			for {
 				select {
-				case s := <-doneCh:
-					outs[s].done = true
+				case i := <-doneCh:
+					arrive(i)
 				default:
+					sx.cancelHedges(fs)
 					return true
 				}
 			}
 		}
 	}
+	// Every shard answered. Drain completions that raced in; if a losing
+	// probe is still running it owns its slot, so the scratch must be
+	// abandoned rather than repooled.
+	for received < launched {
+		select {
+		case i := <-doneCh:
+			arrive(i)
+		default:
+			sx.cancelHedges(fs)
+			return true
+		}
+	}
+	sx.cancelHedges(fs)
 	return false
+}
+
+// cancelHedges releases every hedge context the fan created; winners
+// are already done and losers abort their remote call.
+func (sx *ShardedIndex) cancelHedges(fs *fanScratch) {
+	for s := range fs.cancels {
+		if c := fs.cancels[s]; c != nil {
+			c()
+			fs.cancels[s] = nil
+		}
+	}
 }
 
 // searchShardObs probes one shard into outs[s], timing the probe when a
@@ -554,37 +709,53 @@ func (sx *ShardedIndex) merge(dst []Neighbor, fs *fanScratch, q []float32, k int
 		}
 	}
 	for s := range fs.outs {
+		out := &fs.outs[s]
+		// remote marks a hedge slot: a peer replica already translated its
+		// results into global-ID / merge-key form (see SearchShardGlobal),
+		// so the local translation below must be skipped.
+		remote := false
 		if partial {
 			// An abandoned slot may still be written by its straggler: the
-			// done flag gates every other field read.
-			if !fs.outs[s].done {
-				agg.ShardsFailed++
-				continue
-			}
-			if fs.outs[s].err != nil {
-				agg.ShardsFailed++
-				if firstErr == nil {
-					//resinfer:alloc-ok cold shard-failure path
-					firstErr = fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
+			// done flag gates every other field read. A shard the local
+			// probe lost is answered by its hedge slot when that one holds
+			// a good answer; it fails only when every path failed.
+			if !out.done || out.err != nil {
+				h := &fs.houts[s]
+				if h.done && h.err == nil {
+					out, remote = h, true
+				} else {
+					agg.ShardsFailed++
+					if firstErr == nil {
+						ferr := out.err
+						if ferr == nil && h.done {
+							ferr = h.err
+						}
+						if ferr != nil {
+							//resinfer:alloc-ok cold shard-failure path
+							firstErr = fmt.Errorf("resinfer: shard %d: %w", s, ferr)
+						}
+					}
+					continue
 				}
-				continue
 			}
-		} else if fs.outs[s].err != nil {
+		} else if out.err != nil {
 			//resinfer:alloc-ok cold shard-failure path
-			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, fs.outs[s].err)
+			return dst, SearchStats{}, fmt.Errorf("resinfer: shard %d: %w", s, out.err)
 		}
 		agg.ShardsOK++
-		st := fs.outs[s].st
+		st := out.st
 		agg.Comparisons += st.Comparisons
 		agg.Pruned += st.Pruned
 		scanWeighted += st.ScanRate * float64(st.Comparisons)
-		for _, n := range fs.outs[s].ns {
+		for _, n := range out.ns {
 			id, key := n.ID, n.Distance
-			if mutable {
-				if _, dup := fs.seen[id]; dup {
-					continue
+			if mutable || remote {
+				if fs.seen != nil {
+					if _, dup := fs.seen[id]; dup {
+						continue
+					}
+					fs.seen[id] = struct{}{}
 				}
-				fs.seen[id] = struct{}{}
 			} else {
 				if sx.metric == InnerProduct {
 					key = -sx.shards[s].Score(n, q)

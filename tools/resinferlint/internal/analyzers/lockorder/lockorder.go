@@ -3,15 +3,18 @@
 //
 // # The hierarchy
 //
-// The serving/mutation path has exactly three lock classes, ordered:
+// The serving/mutation path has exactly four lock classes, ordered:
 //
-//	mutState.mu   (level 10)  per-index mutation coordinator
-//	wal.Log.mu    (level 15)  WAL internal lock — a leaf: WAL methods
-//	                          take it and release it internally
-//	shardSeg.mu   (level 20)  per-shard segment swap lock
+//	mutState.mu     (level 10)  per-index mutation coordinator
+//	wal.Log.mu      (level 15)  WAL internal lock — a leaf: WAL methods
+//	                            take it and release it internally
+//	shardSeg.mu     (level 20)  per-shard segment swap lock
+//	replica.Set.mu  (level 30)  replica membership state — a leaf:
+//	                            probes and hedges do network I/O strictly
+//	                            outside it, and nothing is acquired under it
 //
 // A lock may only be acquired while every held lock has a strictly
-// lower level, and nothing may be acquired while the WAL leaf is held.
+// lower level, and nothing may be acquired while a leaf is held.
 // Two rules fall out, matching the prose contract from the WAL PR:
 // "mutState.mu before shardSeg.mu" and "never call into the WAL while
 // holding a segment lock" (a WAL append under seg.mu would stall every
@@ -64,6 +67,7 @@ var classes = []lockClass{
 	{typeName: "mutState", fieldName: "mu", level: 10, label: "mutState.mu"},
 	{typeName: "Log", fieldName: "mu", pkgName: "wal", level: 15, leaf: true, label: "wal.Log.mu"},
 	{typeName: "shardSeg", fieldName: "mu", level: 20, label: "shardSeg.mu"},
+	{typeName: "Set", fieldName: "mu", pkgName: "replica", level: 30, leaf: true, label: "replica.Set.mu"},
 }
 
 func classFor(typeName, pkgName, fieldName string) *lockClass {
@@ -431,7 +435,7 @@ func (w *walker) checkAcquire(pos token.Pos, c *lockClass, st *state) {
 	for _, h := range st.held {
 		switch {
 		case h.class.leaf:
-			w.pass.Reportf(pos, "%s acquired while holding leaf lock %s; nothing may be acquired under the WAL lock", c.label, h.class.label)
+			w.pass.Reportf(pos, "%s acquired while holding leaf lock %s; nothing may be acquired under a leaf lock", c.label, h.class.label)
 		case h.class.label == c.label:
 			w.pass.Reportf(pos, "%s acquired while already holding %s: self-deadlock or unordered same-class instances", c.label, h.class.label)
 		case h.class.level >= c.level:
